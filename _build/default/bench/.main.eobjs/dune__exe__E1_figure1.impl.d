@@ -1,0 +1,1 @@
+bench/e1_figure1.ml: Exp_common List Wo_litmus Wo_machines Wo_report

@@ -1,0 +1,1 @@
+bench/e2_figure2.ml: Format List Printf Wo_core Wo_litmus Wo_report

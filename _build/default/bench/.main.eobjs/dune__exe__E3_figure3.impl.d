@@ -1,0 +1,1 @@
+bench/e3_figure3.ml: Array Exp_common Format List Printf Wo_core Wo_litmus Wo_machines Wo_prog Wo_report Wo_sim

@@ -1,0 +1,1 @@
+bench/e4_spin.ml: Exp_common List Wo_machines Wo_report Wo_workload

@@ -1,0 +1,1 @@
+bench/e5_sweep.ml: List Printf Wo_machines Wo_report Wo_workload

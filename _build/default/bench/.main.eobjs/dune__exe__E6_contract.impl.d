@@ -1,0 +1,1 @@
+bench/e6_contract.ml: Exp_common List Printf Wo_core Wo_litmus Wo_machines Wo_prog Wo_report

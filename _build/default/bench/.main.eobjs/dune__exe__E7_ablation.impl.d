@@ -1,0 +1,1 @@
+bench/e7_ablation.ml: Exp_common List Printf Wo_cache Wo_litmus Wo_machines Wo_prog Wo_report

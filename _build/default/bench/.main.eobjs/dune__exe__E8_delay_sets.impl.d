@@ -1,0 +1,1 @@
+bench/e8_delay_sets.ml: Array Exp_common Format List Printf Wo_litmus Wo_machines Wo_prog Wo_report

@@ -1,0 +1,1 @@
+bench/exp_common.ml: Printf Wo_machines

@@ -1,0 +1,1 @@
+bench/main.ml: Array E1_figure1 E2_figure2 E3_figure3 E4_spin E5_sweep E6_contract E7_ablation E8_delay_sets List Micro Sys

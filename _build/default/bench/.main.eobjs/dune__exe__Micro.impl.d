@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Wo_core Wo_litmus Wo_machines Wo_prog Wo_race Wo_report Wo_workload

@@ -1,0 +1,170 @@
+(* Experiment E3 — Figure 3: analysis of the new implementation.
+
+   The scenario: P0 writes x (slow to perform globally because a remote
+   processor holds a shared copy), does other work, Unsets s, then does
+   more work; P1 TestAndSets s and then reads x.
+
+   Paper's claim:
+   - Definition 1 stalls P0 at the Unset until the write of x is globally
+     performed, and stalls P1's TestAndSet until then too;
+   - the Definition-2 implementation "need never stall P0": P0 commits the
+     Unset and continues its other work, while P1's TestAndSet still stalls
+     (on the reserve bit) until the write of x is globally performed.
+   "Thus, P0 but not P1 gains an advantage from the example
+   implementation." *)
+
+module M = Wo_machines.Machine
+module C = Wo_machines.Coherent
+module E = Wo_core.Event
+
+let slow_factor = 30
+
+(* Rebuild the cached machines with P2's network slowed so that
+   invalidating P2's shared copy of x takes a long time. *)
+let with_slow_p2 (config : C.config) name =
+  C.make ~name ~description:"Figure-3 instance" ~sequentially_consistent:false
+    ~weakly_ordered_drf0:true
+    { config with C.slow_procs = [ (2, slow_factor) ] }
+
+let machines () =
+  [
+    (with_slow_p2 Wo_machines.Presets.wo_old_config "wo-old", `Waits_gp);
+    (with_slow_p2 Wo_machines.Presets.wo_new_config "wo-new", `Waits_commit);
+    ( with_slow_p2 Wo_machines.Presets.wo_new_drf1_config "wo-new-drf1",
+      `Waits_commit );
+  ]
+
+let scenario = Wo_litmus.Litmus.figure3_scenario ()
+
+let runs = 100
+
+let find_entry trace pred =
+  List.find_opt pred (Wo_sim.Trace.entries trace)
+
+let is_unset (e : Wo_sim.Trace.entry) =
+  let ev = e.Wo_sim.Trace.event in
+  ev.E.proc = 0 && ev.E.kind = E.Sync_write && ev.E.loc = Wo_prog.Names.s
+
+let is_winning_tas (e : Wo_sim.Trace.entry) =
+  let ev = e.Wo_sim.Trace.event in
+  ev.E.proc = 1 && ev.E.kind = E.Sync_rmw && ev.E.loc = Wo_prog.Names.s
+  && ev.E.read_value = Some 0
+
+let metric_rows () =
+  List.map
+    (fun ((machine : M.t), waits) ->
+      let p0_finish = ref 0
+      and p1_finish = ref 0
+      and unset_stall = ref 0
+      and tas_wait = ref 0
+      and stale = ref 0 in
+      for seed = 1 to runs do
+        let r = M.run machine ~seed scenario.Wo_litmus.Litmus.program in
+        p0_finish := !p0_finish + r.M.proc_finish.(0);
+        p1_finish := !p1_finish + r.M.proc_finish.(1);
+        (match find_entry r.M.trace is_unset with
+        | Some e ->
+          (* What P0 actually waits for before continuing; Definition-1
+             hardware additionally waits BEFORE issuing the Unset until all
+             previous accesses are globally performed (the gate), which in
+             this scenario is charged entirely to the Unset. *)
+          let until =
+            match waits with
+            | `Waits_gp -> e.Wo_sim.Trace.performed
+            | `Waits_commit -> e.Wo_sim.Trace.committed
+          in
+          unset_stall :=
+            !unset_stall
+            + (until - e.Wo_sim.Trace.issued)
+            + M.stall r ~proc:0 "gate"
+        | None -> ());
+        (match find_entry r.M.trace is_winning_tas with
+        | Some e ->
+          tas_wait :=
+            !tas_wait + (e.Wo_sim.Trace.committed - e.Wo_sim.Trace.issued)
+        | None -> ());
+        if Wo_prog.Outcome.register r.M.outcome 1 Wo_prog.Names.r0 <> Some 1
+        then incr stale
+      done;
+      [
+        machine.M.name;
+        string_of_int (!unset_stall / runs);
+        string_of_int (!p0_finish / runs);
+        string_of_int (!tas_wait / runs);
+        string_of_int (!p1_finish / runs);
+        Exp_common.pct !stale runs;
+      ])
+    (machines ())
+
+(* A per-operation timeline of one run, restricted to the operations the
+   figure draws. *)
+let timeline ((machine : M.t), _) =
+  Wo_report.Table.subheading
+    (Printf.sprintf "one run on %s (issue/commit/globally-performed)"
+       machine.M.name);
+  print_newline ();
+  let r = M.run machine ~seed:7 scenario.Wo_litmus.Litmus.program in
+  let entries = Wo_sim.Trace.entries r.M.trace in
+  let tas_entries =
+    List.filter
+      (fun (e : Wo_sim.Trace.entry) ->
+        let ev = e.Wo_sim.Trace.event in
+        ev.E.proc = 1 && ev.E.kind = E.Sync_rmw && ev.E.loc = Wo_prog.Names.s)
+      entries
+  in
+  let spin_count = List.length tas_entries in
+  let keep (e : Wo_sim.Trace.entry) =
+    let ev = e.Wo_sim.Trace.event in
+    match (ev.E.kind, ev.E.loc) with
+    | E.Data_write, 0 -> ev.E.proc = 0 (* W(x) *)
+    | E.Data_read, 0 -> ev.E.proc = 1 (* final R(x) *)
+    | E.Sync_write, 6 -> true (* Unset(s) *)
+    | E.Sync_rmw, 6 -> ev.E.read_value = Some 0 (* the winning TestAndSet *)
+    | _ -> false
+  in
+  let rows =
+    entries
+    |> List.filter keep
+    |> List.map (fun (e : Wo_sim.Trace.entry) ->
+           [
+             Format.asprintf "%a" E.pp e.Wo_sim.Trace.event;
+             string_of_int e.Wo_sim.Trace.issued;
+             string_of_int e.Wo_sim.Trace.committed;
+             string_of_int e.Wo_sim.Trace.performed;
+           ])
+  in
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R ]
+    ~headers:[ "operation"; "issued"; "committed"; "glob.performed" ]
+    rows;
+  Printf.printf
+    "P1 spun through %d TestAndSets; P0 finished at t=%d, P1 at t=%d\n"
+    spin_count r.M.proc_finish.(0) r.M.proc_finish.(1)
+
+let run () =
+  Wo_report.Table.heading "E3 / Figure 3 — who stalls, and for how long";
+  Printf.printf
+    "Scenario: P0: W(x); work; Unset(s); work   P1: TestAndSet(s); R(x)\n\
+     P2 holds x shared with a %dx slower network, so W(x) takes long to\n\
+     perform globally.  Averages over %d seeds.  'Unset stall' is the time\n\
+     P0 waits at the Unset before continuing (until globally performed on\n\
+     wo-old, until commit on wo-new).\n\n"
+    slow_factor runs;
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R; R; R ]
+    ~headers:
+      [
+        "machine";
+        "Unset stall (P0)";
+        "P0 finish";
+        "TAS wait (P1)";
+        "P1 finish";
+        "stale reads";
+      ]
+    (metric_rows ());
+  print_endline
+    "Expected shape: wo-new's Unset stall collapses (P0 need never stall);\n\
+     P1's winning TestAndSet waits for W(x) to perform globally on every\n\
+     machine (Def. 1 serializes at the Unset, Def. 2 at the reserve bit);\n\
+     stale reads are always 0.";
+  List.iter timeline (machines ())

@@ -1,0 +1,75 @@
+(* Experiment E4 — Section 6: the cost of serializing read-only
+   synchronization.
+
+   "One very important case where the example implementation is likely to
+   be slower than one for Definition 1 occurs when software performs
+   repeated testing of a synchronization variable (e.g., the Test from a
+   Test-and-TestAndSet or spinning on a barrier count).  The example
+   implementation serializes all these synchronization operations,
+   treating them as writes. ... the unnecessary serialization can be
+   avoided by improving on DRF0 to yield a new data-race-free model
+   [DRF1]."
+
+   Two spinning workloads: a barrier (read-only Test spinning on the
+   count) and Test-and-TestAndSet locks.  wo-new should degrade relative
+   to wo-old as processors increase; wo-new-drf1 should recover. *)
+
+module M = Wo_machines.Machine
+
+let machines =
+  [
+    Wo_machines.Presets.wo_old;
+    Wo_machines.Presets.wo_new;
+    Wo_machines.Presets.wo_new_drf1;
+  ]
+
+let runs = 30
+
+let avg_cycles machine program =
+  Exp_common.run_metric ~runs machine program (fun r -> r.M.cycles)
+
+let barrier_rows () =
+  List.map
+    (fun procs ->
+      let w = Wo_workload.Workload.spin_barrier ~procs ~rounds:3 ~work:8 () in
+      string_of_int procs
+      :: List.map
+           (fun m -> string_of_int (avg_cycles m w.Wo_workload.Workload.program))
+           machines)
+    [ 2; 4; 8 ]
+
+let ttas_rows () =
+  List.map
+    (fun procs ->
+      let w =
+        Wo_workload.Workload.critical_section ~procs ~sections:4 ~work:6
+          ~use_ttas:true ()
+      in
+      string_of_int procs
+      :: List.map
+           (fun m -> string_of_int (avg_cycles m w.Wo_workload.Workload.program))
+           machines)
+    [ 2; 4; 8 ]
+
+let headers = "procs" :: List.map (fun (m : M.t) -> m.M.name) machines
+
+let run () =
+  Wo_report.Table.heading
+    "E4 / Section 6 — spinning cost: read-only synchronization serialized \
+     vs not";
+  Wo_report.Table.subheading
+    "spin barrier, 3 rounds (cycles, avg over seeds; lower is better)";
+  print_newline ();
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R ]
+    ~headers (barrier_rows ());
+  Wo_report.Table.subheading
+    "Test-and-TestAndSet critical sections, 4 per processor (cycles)";
+  print_newline ();
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R ]
+    ~headers (ttas_rows ());
+  print_endline
+    "Expected shape: wo-new pays for treating Tests as writes (exclusive\n\
+     ownership ping-pong); wo-old and wo-new-drf1 spin on shared copies\n\
+     and scale much better.  The gap widens with processor count."

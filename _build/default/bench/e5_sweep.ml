@@ -1,0 +1,82 @@
+(* Experiment E5 — the paper's proposed future work: "A quantitative
+   performance analysis comparing implementations for the old and new
+   definitions of weak ordering would provide useful insight."
+
+   Workload sweep over the machine ladder: sequentially consistent
+   directory hardware (every access waits to perform globally),
+   Definition-1 hardware, the Section-5.3 implementation, and its DRF1
+   refinement.  The expected shape: SC pays on every access; wo-old pays
+   at synchronization boundaries; wo-new hides the release-side stall;
+   drf1 additionally removes read-only-synchronization serialization. *)
+
+module M = Wo_machines.Machine
+
+let machines =
+  [
+    Wo_machines.Presets.sc_dir;
+    Wo_machines.Presets.wo_old;
+    Wo_machines.Presets.wo_new;
+    Wo_machines.Presets.wo_new_drf1;
+  ]
+
+let runs = 20
+
+let row (w : Wo_workload.Workload.t) label =
+  let validate_failures = ref 0 in
+  let cycles =
+    List.map
+      (fun m ->
+        let total = ref 0 in
+        for seed = 1 to runs do
+          let r = M.run m ~seed w.Wo_workload.Workload.program in
+          total := !total + r.M.cycles;
+          match w.Wo_workload.Workload.validate r.M.outcome with
+          | Ok () -> ()
+          | Error _ -> incr validate_failures
+        done;
+        !total / runs)
+      machines
+  in
+  (label :: List.map string_of_int cycles)
+  @ [ string_of_int !validate_failures ]
+
+let rows () =
+  List.concat
+    [
+      List.map
+        (fun (procs, work) ->
+          row
+            (Wo_workload.Workload.critical_section ~procs ~sections:4 ~work ())
+            (Printf.sprintf "critical-section p=%d work=%d" procs work))
+        [ (2, 4); (2, 16); (4, 4); (4, 16); (8, 8) ];
+      List.map
+        (fun (items, batch) ->
+          row
+            (Wo_workload.Workload.producer_consumer ~items ~work:6 ~batch ())
+            (Printf.sprintf "producer-consumer items=%d batch=%d" items batch))
+        [ (4, 1); (4, 6); (8, 6) ];
+      List.map
+        (fun procs ->
+          row
+            (Wo_workload.Workload.sharded_counter ~procs ~increments:12 ())
+            (Printf.sprintf "sharded-counter p=%d" procs))
+        [ 2; 4; 8 ];
+    ]
+
+let headers =
+  ("workload" :: List.map (fun (m : M.t) -> m.M.name) machines)
+  @ [ "invariant failures" ]
+
+let run () =
+  Wo_report.Table.heading
+    "E5 / future work — quantitative comparison across the machine ladder \
+     (cycles, lower is better)";
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R; R; R ]
+    ~headers (rows ());
+  print_endline
+    "Expected shape: sc-dir slowest everywhere (every access waits to\n\
+     perform globally); wo-old recovers most of it; wo-new beats wo-old\n\
+     where releases overlap with pending writes; wo-new-drf1 matches or\n\
+     beats wo-new, especially with contended locks.  Invariant failures\n\
+     must be 0 — weak ordering must not cost correctness for DRF0 code."

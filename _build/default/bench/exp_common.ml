@@ -1,0 +1,33 @@
+(* Shared helpers for the experiment harness. *)
+
+module M = Wo_machines.Machine
+
+let default_runs = 200
+
+(* Average of an integer metric over seeded runs. *)
+let average_over ?(runs = 50) ~base_seed f =
+  let total = ref 0 in
+  for seed = base_seed to base_seed + runs - 1 do
+    total := !total + f ~seed
+  done;
+  !total / runs
+
+let run_metric ?(runs = 50) machine program metric =
+  average_over ~runs ~base_seed:1 (fun ~seed ->
+      metric (M.run machine ~seed program))
+
+let count_over ?(runs = default_runs) ~base_seed pred =
+  let n = ref 0 in
+  for seed = base_seed to base_seed + runs - 1 do
+    if pred ~seed then incr n
+  done;
+  !n
+
+let yes_no b = if b then "yes" else "no"
+
+let pct n total = Printf.sprintf "%d/%d" n total
+
+let machine_by_name name =
+  match Wo_machines.Presets.find name with
+  | Some m -> m
+  | None -> failwith ("unknown machine: " ^ name)

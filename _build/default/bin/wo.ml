@@ -1,0 +1,354 @@
+(* The command-line front end.
+
+     wo list                         catalogue of machines, litmus tests,
+                                     workloads
+     wo litmus figure1 -m wo-new     run a litmus test on a machine and
+                                     compare against the SC outcome set
+     wo races message-passing        check a litmus program against DRF0
+     wo workload critical-section -m sc-dir
+                                     run a workload, validate its invariant
+     wo trace figure3 -m wo-new      dump one run's operation timeline *)
+
+open Cmdliner
+
+module M = Wo_machines.Machine
+module L = Wo_litmus.Litmus
+
+let machine_names =
+  List.map (fun (m : M.t) -> m.M.name) Wo_machines.Presets.all
+
+let machine_arg =
+  let doc =
+    Printf.sprintf "Machine to simulate; one of: %s."
+      (String.concat ", " machine_names)
+  in
+  Arg.(value & opt string "wo-new" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let runs_arg =
+  Arg.(value & opt int 100 & info [ "n"; "runs" ] ~docv:"N" ~doc:"Seeded runs.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+
+let get_machine name =
+  match Wo_machines.Presets.find name with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown machine %S; try one of: %s" name
+         (String.concat ", " machine_names))
+
+let get_litmus name =
+  match L.find name with
+  | Some t -> Ok t
+  | None ->
+    Error
+      (Printf.sprintf "unknown litmus test %S; try one of: %s" name
+         (String.concat ", " (List.map (fun (t : L.t) -> t.L.name) L.all)))
+
+let get_workload name =
+  match
+    List.find_opt
+      (fun (w : Wo_workload.Workload.t) -> w.Wo_workload.Workload.name = name)
+      Wo_workload.Workload.all
+  with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %S; try one of: %s" name
+         (String.concat ", "
+            (List.map
+               (fun (w : Wo_workload.Workload.t) -> w.Wo_workload.Workload.name)
+               Wo_workload.Workload.all)))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* --- wo list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Wo_report.Table.heading "Machines";
+    Wo_report.Table.print ~headers:[ "name"; "SC"; "WO/DRF0"; "description" ]
+      (List.map
+         (fun (m : M.t) ->
+           [
+             m.M.name;
+             (if m.M.sequentially_consistent then "yes" else "no");
+             (if m.M.weakly_ordered_drf0 then "yes" else "no");
+             (let d = m.M.description in
+              if String.length d > 60 then String.sub d 0 57 ^ "..." else d);
+           ])
+         Wo_machines.Presets.all);
+    Wo_report.Table.heading "Litmus tests";
+    Wo_report.Table.print ~headers:[ "name"; "DRF0"; "loops" ]
+      (List.map
+         (fun (t : L.t) ->
+           [
+             t.L.name;
+             (if t.L.drf0 then "yes" else "no");
+             (if t.L.loops then "yes" else "no");
+           ])
+         L.all);
+    Wo_report.Table.heading "Workloads";
+    Wo_report.Table.print ~headers:[ "name"; "description" ]
+      (List.map
+         (fun (w : Wo_workload.Workload.t) ->
+           [
+             w.Wo_workload.Workload.name;
+             (let d = w.Wo_workload.Workload.description in
+              if String.length d > 64 then String.sub d 0 61 ^ "..." else d);
+           ])
+         Wo_workload.Workload.all)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Catalogue of machines, litmus tests and workloads")
+    Term.(const run $ const ())
+
+(* --- wo litmus ----------------------------------------------------------- *)
+
+let litmus_cmd =
+  let test_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
+  in
+  let run test machine runs seed =
+    let test = or_die (get_litmus test) in
+    let machine = or_die (get_machine machine) in
+    let report = Wo_litmus.Runner.run ~runs ~base_seed:seed machine test in
+    Format.printf "%a@.@." Wo_litmus.Runner.pp_report report;
+    if not test.L.loops then begin
+      Printf.printf "observed outcomes (SC set has %d):\n"
+        (List.length report.Wo_litmus.Runner.sc_outcomes);
+      List.iter
+        (fun (o, n) ->
+          let in_sc =
+            List.exists
+              (fun sc -> Wo_prog.Outcome.compare sc o = 0)
+              report.Wo_litmus.Runner.sc_outcomes
+          in
+          Format.printf "  %4dx %s %a@." n
+            (if in_sc then "  " else "!!")
+            Wo_prog.Outcome.pp o)
+        report.Wo_litmus.Runner.histogram
+    end;
+    if Wo_litmus.Runner.appears_sc report then
+      print_endline "verdict: appears sequentially consistent"
+    else begin
+      print_endline "verdict: NOT sequentially consistent (!! marks non-SC outcomes)";
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Run a litmus test on a machine and compare with the SC set")
+    Term.(const run $ test_arg $ machine_arg $ runs_arg $ seed_arg)
+
+(* --- wo races ------------------------------------------------------------- *)
+
+let races_cmd =
+  let test_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
+  in
+  let run test =
+    let test = or_die (get_litmus test) in
+    Format.printf "%a@.@." Wo_prog.Program.pp test.L.program;
+    if test.L.loops then begin
+      Printf.printf
+        "(program has spin loops; sampling 30 schedules with the dynamic \
+         detector)\n";
+      let races =
+        Wo_race.Detector.sample_program ~schedules:30
+          ~run:(fun ~seed ->
+            Wo_prog.Interp.execution
+              (Wo_prog.Interp.run_random ~seed test.L.program))
+          ()
+      in
+      if races = [] then print_endline "no races found: consistent with DRF0"
+      else begin
+        Printf.printf "%d race report(s); first few:\n" (List.length races);
+        List.iteri
+          (fun i r ->
+            if i < 5 then Format.printf "  %a@." Wo_core.Drf0.pp_race r)
+          races;
+        exit 2
+      end
+    end
+    else
+      match Wo_prog.Enumerate.check_drf0 test.L.program with
+      | Ok () ->
+        print_endline
+          "every idealized execution is race-free: the program obeys DRF0"
+      | Error report ->
+        Printf.printf "DRF0 violated; races in one idealized execution:\n";
+        List.iter
+          (fun r -> Format.printf "  %a@." Wo_core.Drf0.pp_race r)
+          report.Wo_core.Drf0.races;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "races" ~doc:"Check a litmus program against Definition 3 (DRF0)")
+    Term.(const run $ test_arg)
+
+(* --- wo workload ---------------------------------------------------------- *)
+
+let workload_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `wo list').")
+  in
+  let run name machine runs seed =
+    let w = or_die (get_workload name) in
+    let machine = or_die (get_machine machine) in
+    let cycles = ref 0 and failures = ref 0 in
+    for s = seed to seed + runs - 1 do
+      let r = M.run machine ~seed:s w.Wo_workload.Workload.program in
+      cycles := !cycles + r.M.cycles;
+      match w.Wo_workload.Workload.validate r.M.outcome with
+      | Ok () -> ()
+      | Error e ->
+        incr failures;
+        if !failures = 1 then Printf.printf "invariant broken: %s\n" e
+    done;
+    Printf.printf "%s on %s: %d runs, avg %d cycles, %d invariant failures\n"
+      w.Wo_workload.Workload.name machine.M.name runs (!cycles / runs)
+      !failures;
+    if !failures > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run a workload and validate its invariant")
+    Term.(const run $ name_arg $ machine_arg $ runs_arg $ seed_arg)
+
+(* --- wo trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let test_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
+  in
+  let run test machine seed =
+    let test = or_die (get_litmus test) in
+    let machine = or_die (get_machine machine) in
+    let r = M.run machine ~seed test.L.program in
+    Printf.printf "one run of %s on %s (seed %d), commit order:\n\n"
+      test.L.name machine.M.name seed;
+    print_endline "issue/commit/globally-performed";
+    Format.printf "%a@." Wo_sim.Trace.pp r.M.trace;
+    Format.printf "outcome: %a@." Wo_prog.Outcome.pp r.M.outcome;
+    Printf.printf "cycles: %d\n" r.M.cycles;
+    match
+      M.check_lemma1
+        ~init:(Wo_prog.Program.initial_value test.L.program)
+        r
+    with
+    | Ok () -> print_endline "Lemma-1 oracle: satisfied"
+    | Error vs ->
+      Printf.printf "Lemma-1 oracle: %d violation(s)\n" (List.length vs);
+      List.iter (fun v -> Format.printf "  %a@." Wo_core.Lemma1.pp_violation v) vs
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump one run's operation timeline")
+    Term.(const run $ test_arg $ machine_arg $ seed_arg)
+
+(* --- wo litmus-file ----------------------------------------------------------- *)
+
+let litmus_file_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Litmus file (see lib/litmus/parse.mli for the format).")
+  in
+  let run file machine runs seed =
+    let test =
+      try Wo_litmus.Parse.of_file file
+      with Wo_litmus.Parse.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" file line message;
+        exit 1
+    in
+    let machine = or_die (get_machine machine) in
+    Format.printf "%a@.@." Wo_prog.Program.pp test.L.program;
+    Printf.printf "DRF0: %s\n\n" (if test.L.drf0 then "yes" else "no");
+    let report = Wo_litmus.Runner.run ~runs ~base_seed:seed machine test in
+    Format.printf "%a@.@." Wo_litmus.Runner.pp_report report;
+    List.iter
+      (fun (o, n) ->
+        let in_sc =
+          List.exists
+            (fun sc -> Wo_prog.Outcome.compare sc o = 0)
+            report.Wo_litmus.Runner.sc_outcomes
+        in
+        Format.printf "  %4dx %s %a@." n
+          (if in_sc then "  " else "!!")
+          Wo_prog.Outcome.pp o)
+      report.Wo_litmus.Runner.histogram;
+    if not (Wo_litmus.Runner.appears_sc report) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "litmus-file" ~doc:"Parse and run a litmus test from a file")
+    Term.(const run $ file_arg $ machine_arg $ runs_arg $ seed_arg)
+
+(* --- wo delays -------------------------------------------------------------- *)
+
+let delays_cmd =
+  let test_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
+  in
+  let run test =
+    let test = or_die (get_litmus test) in
+    match Wo_prog.Delay_set.analyse test.L.program with
+    | exception Wo_prog.Delay_set.Unsupported msg ->
+      prerr_endline msg;
+      exit 1
+    | [] ->
+      print_endline
+        "empty delay set: the program is sequentially consistent on any \
+         hardware that preserves uniprocessor dependencies"
+    | delays ->
+      Printf.printf "Shasha-Snir delay set (%d pair(s)):\n"
+        (List.length delays);
+      List.iter
+        (fun d -> Format.printf "  %a@." Wo_prog.Delay_set.pp_delay d)
+        delays;
+      print_newline ();
+      Format.printf "%a@."
+        Wo_prog.Program.pp
+        (Wo_prog.Delay_set.insert_fences test.L.program)
+  in
+  Cmd.v
+    (Cmd.info "delays"
+       ~doc:"Shasha-Snir delay-set analysis and fence insertion")
+    Term.(const run $ test_arg)
+
+let main =
+  let doc =
+    "weak ordering, redefined — simulators and checkers for Adve & Hill's \
+     DRF0 framework"
+  in
+  Cmd.group (Cmd.info "wo" ~version:"1.0.0" ~doc)
+    [
+      list_cmd;
+      litmus_cmd;
+      litmus_file_cmd;
+      races_cmd;
+      workload_cmd;
+      trace_cmd;
+      delays_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

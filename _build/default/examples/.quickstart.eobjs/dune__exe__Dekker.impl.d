@@ -1,0 +1,1 @@
+examples/dekker.ml: List Printf Wo_litmus Wo_machines Wo_prog Wo_report Wo_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Wo_core Wo_machines Wo_prog Wo_race Wo_report

@@ -1,0 +1,1 @@
+examples/race_hunt.ml: Format List Printf Wo_core Wo_machines Wo_prog Wo_race Wo_report

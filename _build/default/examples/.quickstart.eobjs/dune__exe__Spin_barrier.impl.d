@@ -1,0 +1,1 @@
+examples/spin_barrier.ml: List Printf Wo_machines Wo_prog Wo_report

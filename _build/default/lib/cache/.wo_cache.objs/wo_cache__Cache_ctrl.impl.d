@@ -1,0 +1,1 @@
+lib/cache/cache_ctrl.ml: Buffer Format Hashtbl Int List Msg Printf Queue Wo_core Wo_interconnect Wo_sim

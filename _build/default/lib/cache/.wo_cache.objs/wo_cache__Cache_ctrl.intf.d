@@ -1,0 +1,1 @@
+lib/cache/cache_ctrl.mli: Msg Wo_core Wo_interconnect Wo_sim

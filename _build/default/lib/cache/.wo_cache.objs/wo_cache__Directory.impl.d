@@ -1,0 +1,1 @@
+lib/cache/directory.ml: Buffer Format Hashtbl Int List Msg Printf Queue Set String Wo_core Wo_interconnect Wo_sim

@@ -1,0 +1,1 @@
+lib/cache/directory.mli: Msg Wo_core Wo_interconnect Wo_sim

@@ -1,0 +1,1 @@
+lib/cache/msg.ml: Format Wo_core

@@ -1,0 +1,1 @@
+lib/cache/msg.mli: Format Wo_core

@@ -1,0 +1,1 @@
+lib/cache/write_buffer.ml: List Queue Wo_core

@@ -1,0 +1,110 @@
+(** Per-processor cache controller (Sections 5.2–5.3).
+
+    One controller holds one processor's cache: MSI line states plus the
+    paper's {e reserve bit}, and the per-processor counter of outstanding
+    accesses.  Accesses complete through two callbacks matching the
+    paper's commit / globally-performed distinction.
+
+    Mechanisms of Section 5.3, with the two refinements the paper sketches
+    but does not spell out (both are needed for deadlock freedom, see the
+    comment on the reserve watermark in the implementation):
+    - every access is tracked from submission until it is globally
+      performed (the per-access refinement of the outstanding-access
+      counter: the paper's footnote about "a mechanism to distinguish
+      accesses generated before a particular synchronization operation
+      from those generated after");
+    - when a synchronization operation commits while accesses generated
+      before it are outstanding (or its own invalidations are pending),
+      the line's reserve bit is set; it clears when everything generated
+      up to and including that synchronization is globally performed;
+    - a recall for a reserved line stalls only if the request that
+      triggered it is itself a synchronization operation ("when a
+      synchronization request is routed to a processor, it is serviced
+      only if the reserve bit of the requested line is reset") — data
+      requests are serviced regardless, which is what makes the paper's
+      deadlock-freedom argument go through;
+    - a reserved line is never evicted.
+
+    The controller is policy-neutral: processor-side ordering (when the
+    processor may issue the next access) belongs to the machines; the
+    controller only implements the cache-side mechanisms, so the same code
+    underlies the SC, Definition-1 and Definition-2 machines. *)
+
+exception Protocol_error of string
+
+type access_kind =
+  [ `Data_read
+  | `Data_write of Wo_core.Event.value
+  | `Sync_read
+  | `Sync_write of Wo_core.Event.value
+  | `Sync_rmw of Wo_core.Event.value -> Wo_core.Event.value ]
+
+type completion = {
+  on_commit : at:int -> Wo_core.Event.value option -> unit;
+      (** fires when the commit is known, carrying the commit time [at] and
+          the value returned for operations with a read component.  For
+          local-cache operations [at] is the current time; for reads served
+          remotely it is the time the value was bound (dispatched) at the
+          directory — the paper's definition of a read's commit. *)
+  on_gp : unit -> unit;  (** fires when the access is globally performed *)
+}
+
+type config = {
+  hit_cycles : int;         (** cache access latency (default 1) *)
+  reserve_enabled : bool;   (** the Section-5.3 reserve-bit mechanism *)
+  sync_read_shared : bool;
+      (** Section-6 refinement: read-only synchronization uses a shared
+          copy and sets no reserve bit *)
+  capacity : int option;    (** max resident lines; [None] = unbounded *)
+  coarse_counter : bool;
+      (** release reserve bits only when the whole counter reads zero —
+          the paper's literal accounting.  Deadlock-prone: two processors'
+          reserve bits can transitively wait on each other's stalled
+          synchronization misses (kept, default off, so the test suite can
+          demonstrate the hazard the watermark refinement removes). *)
+}
+
+val default_config : config
+(** hit 1 cycle, reserve off, sync reads exclusive, unbounded. *)
+
+type t
+
+val create :
+  engine:Wo_sim.Engine.t ->
+  fabric:Msg.t Wo_interconnect.Fabric.t ->
+  node:int ->
+  dir_node:int ->
+  ?stats:Wo_sim.Stats.t ->
+  config ->
+  t
+(** Creates the controller and connects it to fabric node [node]. *)
+
+val access : t -> Wo_core.Event.loc -> access_kind -> completion -> unit
+(** Submit one access.  Accesses to the same line are serviced in
+    submission order (intra-processor dependencies, condition 1 of 5.1);
+    accesses to different lines proceed independently. *)
+
+val outstanding : t -> int
+(** Current value of the counter. *)
+
+val on_counter_zero : t -> (unit -> unit) -> unit
+(** One-shot callback; fires immediately if the counter is already zero. *)
+
+val reserved_locs : t -> Wo_core.Event.loc list
+
+val line_state : t -> Wo_core.Event.loc -> [ `Invalid | `Shared | `Exclusive ]
+
+val value_of : t -> Wo_core.Event.loc -> Wo_core.Event.value option
+(** The cached value, for resident (Shared/Exclusive/evicting) lines. *)
+
+val pending_accesses : t -> int
+(** Accesses submitted but not yet committed — non-zero after the engine
+    drains indicates deadlock. *)
+
+val resident_lines : t -> int
+
+val stalled_recall_locs : t -> (Wo_core.Event.loc * int) list
+(** Lines with stalled recalls and how many (diagnostics). *)
+
+val debug_dump : t -> string
+(** One-line-per-line state dump for deadlock diagnostics. *)

@@ -1,0 +1,49 @@
+(** The full-map directory (Section 5.2).
+
+    One directory serves all locations (one word per line, see DESIGN.md).
+    Transactions on a line are serialized: while a line has an outstanding
+    transaction — a recall of the exclusive owner, or invalidations whose
+    acknowledgements are still pending — subsequent requests for that line
+    queue at the directory.  Queuing requests behind pending
+    acknowledgements is what guarantees that no {e other} processor can
+    read a write that is not yet globally performed through the directory
+    (the writer itself can, from its own cache: that is the weak behaviour
+    the paper's machines must control).
+
+    Following the paper, on a write to a shared line the directory sends
+    the data to the writer {e in parallel} with the invalidations; the
+    final acknowledgement is the separate [WriteDone] message. *)
+
+exception Protocol_error of string
+
+type t
+
+type state =
+  | Uncached
+  | Shared of int list   (** sharer cache ids, sorted *)
+  | Exclusive of int     (** owner cache id *)
+
+val create :
+  engine:Wo_sim.Engine.t ->
+  fabric:Msg.t Wo_interconnect.Fabric.t ->
+  node:int ->
+  ?stats:Wo_sim.Stats.t ->
+  ?process_cycles:int ->
+  initial:(Wo_core.Event.loc -> Wo_core.Event.value) ->
+  unit ->
+  t
+(** Creates the directory and connects it to fabric node [node].
+    [process_cycles] (default 1) is charged per handled message. *)
+
+val state_of : t -> Wo_core.Event.loc -> state
+
+val memory_value : t -> Wo_core.Event.loc -> Wo_core.Event.value
+(** The directory's (memory's) current value — stale while a line is owned
+    exclusively. *)
+
+val debug_dump : t -> string
+(** Per-line directory state for deadlock diagnostics. *)
+
+val busy_lines : t -> Wo_core.Event.loc list
+(** Lines with an outstanding transaction (should be empty when a
+    simulation drains; non-empty indicates deadlock). *)

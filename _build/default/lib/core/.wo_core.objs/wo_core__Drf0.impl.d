@@ -1,0 +1,1 @@
+lib/core/drf0.ml: Array Event Execution Format Happens_before List Seq Sync_model

@@ -1,0 +1,1 @@
+lib/core/drf0.mli: Event Execution Format Seq Sync_model

@@ -1,0 +1,1 @@
+lib/core/execution.ml: Event Format Hashtbl Int List Printf Relation String

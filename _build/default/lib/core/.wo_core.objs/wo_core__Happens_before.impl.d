@@ -1,0 +1,1 @@
+lib/core/happens_before.ml: Event Execution Hashtbl List Relation

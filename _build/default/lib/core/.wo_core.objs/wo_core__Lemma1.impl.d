@@ -1,0 +1,1 @@
+lib/core/lemma1.ml: Array Event Execution Format Happens_before List Sync_model

@@ -1,0 +1,1 @@
+lib/core/lemma1.mli: Event Execution Format Relation Sync_model

@@ -1,0 +1,1 @@
+lib/core/relation.ml: Format Hashtbl Int List Map Set

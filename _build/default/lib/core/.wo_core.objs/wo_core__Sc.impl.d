@@ -1,0 +1,1 @@
+lib/core/sc.ml: Array Buffer Event Execution Format Hashtbl List Printf

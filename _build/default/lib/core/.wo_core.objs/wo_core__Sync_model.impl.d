@@ -1,0 +1,1 @@
+lib/core/sync_model.ml: Execution Format Happens_before

@@ -1,0 +1,1 @@
+lib/core/sync_model.mli: Execution Format Happens_before

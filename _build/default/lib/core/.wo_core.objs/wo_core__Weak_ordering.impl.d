@@ -1,0 +1,1 @@
+lib/core/weak_ordering.ml: List

@@ -1,0 +1,53 @@
+type race = { e1 : Event.t; e2 : Event.t }
+
+type report = {
+  execution : Execution.t;
+  model : Sync_model.t;
+  races : race list;
+}
+
+let races ?(model = Sync_model.drf0) ?(augment = true) exn =
+  let exn = if augment then Execution.augment exn else exn in
+  let hb = model.Sync_model.happens_before exn in
+  let evs = Array.of_list (Execution.events exn) in
+  let n = Array.length evs in
+  let found = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = evs.(i) and b = evs.(j) in
+      if
+        a.Event.proc <> b.Event.proc
+        && Event.conflicts a b
+        && not (Happens_before.orders hb a.Event.id b.Event.id)
+      then found := { e1 = a; e2 = b } :: !found
+    done
+  done;
+  List.rev !found
+
+let obeys ?model ?augment exn = races ?model ?augment exn = []
+
+let check ?(model = Sync_model.drf0) ?(augment = true) exn =
+  let augmented = if augment then Execution.augment exn else exn in
+  { execution = augmented; model; races = races ~model ~augment exn }
+
+let program_obeys ?(model = Sync_model.drf0) ?augment executions =
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> Ok ()
+    | Seq.Cons (exn, rest) ->
+      let r = check ~model ?augment exn in
+      if r.races = [] then go rest else Error r
+  in
+  go executions
+
+let pp_race ppf { e1; e2 } =
+  Format.fprintf ppf "race between %a and %a on %a" Event.pp e1 Event.pp e2
+    Event.pp_loc e1.Event.loc
+
+let pp_report ppf r =
+  if r.races = [] then
+    Format.fprintf ppf "execution obeys %s (no races)" r.model.Sync_model.name
+  else begin
+    Format.fprintf ppf "execution violates %s:@." r.model.Sync_model.name;
+    List.iter (fun race -> Format.fprintf ppf "  %a@." pp_race race) r.races
+  end

@@ -1,0 +1,43 @@
+(** The Data-Race-Free-0 checker (Definition 3).
+
+    A program obeys DRF0 iff, for {e every} execution on the idealized
+    architecture, all conflicting accesses are ordered by the
+    happens-before relation of that execution.  This module checks single
+    executions; quantification over all executions is done by enumerating
+    them (see [Wo_prog.Enumerate]) and calling {!program_obeys}. *)
+
+type race = {
+  e1 : Event.t;
+  e2 : Event.t;  (** [e1] precedes [e2] in the execution order *)
+}
+(** A pair of conflicting accesses unordered by happens-before. *)
+
+type report = {
+  execution : Execution.t;  (** the (possibly augmented) execution checked *)
+  model : Sync_model.t;
+  races : race list;
+}
+
+val races :
+  ?model:Sync_model.t -> ?augment:bool -> Execution.t -> race list
+(** All races of one idealized execution under the model (default
+    {!Sync_model.drf0}).  When [augment] is [true] (the default) the
+    execution is first augmented for the initial and final state of memory
+    as in Section 4, so unsynchronized conflicts with initialization or
+    with program termination are reported too. *)
+
+val obeys : ?model:Sync_model.t -> ?augment:bool -> Execution.t -> bool
+(** No races in this execution. *)
+
+val check : ?model:Sync_model.t -> ?augment:bool -> Execution.t -> report
+
+val program_obeys :
+  ?model:Sync_model.t -> ?augment:bool -> Execution.t Seq.t ->
+  (unit, report) result
+(** Definition 3 proper: check every idealized execution of a program.
+    Returns the first failing execution's report, or [Ok ()].  The sequence
+    is consumed lazily. *)
+
+val pp_race : Format.formatter -> race -> unit
+
+val pp_report : Format.formatter -> report -> unit

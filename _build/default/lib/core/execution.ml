@@ -1,0 +1,189 @@
+type t = {
+  ordered : Event.t list;
+  by_id : (int, Event.t) Hashtbl.t;
+  index : (int, int) Hashtbl.t; (* id -> position in execution order *)
+  virtual_proc : Event.proc option;
+}
+
+let check_distinct_ids evs =
+  let seen = Hashtbl.create 97 in
+  List.iter
+    (fun (e : Event.t) ->
+      if Hashtbl.mem seen e.Event.id then
+        invalid_arg "Execution.of_ordered_events: duplicate event id";
+      Hashtbl.replace seen e.Event.id ())
+    evs
+
+let check_program_order evs =
+  let last_seq = Hashtbl.create 17 in
+  List.iter
+    (fun (e : Event.t) ->
+      (match Hashtbl.find_opt last_seq e.Event.proc with
+      | Some s when s >= e.Event.seq ->
+        invalid_arg
+          "Execution.of_ordered_events: processor events out of program order"
+      | _ -> ());
+      Hashtbl.replace last_seq e.Event.proc e.Event.seq)
+    evs
+
+let make ?virtual_proc ordered =
+  check_distinct_ids ordered;
+  check_program_order ordered;
+  let by_id = Hashtbl.create 97 in
+  let index = Hashtbl.create 97 in
+  List.iteri
+    (fun i (e : Event.t) ->
+      Hashtbl.replace by_id e.Event.id e;
+      Hashtbl.replace index e.Event.id i)
+    ordered;
+  { ordered; by_id; index; virtual_proc }
+
+let of_ordered_events evs = make evs
+
+let build specs =
+  let next_seq = Hashtbl.create 17 in
+  let evs =
+    List.mapi
+      (fun i (proc, kind, loc, read_value, written_value) ->
+        let seq =
+          match Hashtbl.find_opt next_seq proc with None -> 0 | Some s -> s
+        in
+        Hashtbl.replace next_seq proc (seq + 1);
+        { Event.id = i; proc; seq; kind; loc; read_value; written_value })
+      specs
+  in
+  make evs
+
+let events t = t.ordered
+let find t id = Hashtbl.find t.by_id id
+let size t = List.length t.ordered
+
+let sorted_unique l = List.sort_uniq Int.compare l
+
+let procs t = sorted_unique (List.map (fun e -> e.Event.proc) t.ordered)
+let locs t = sorted_unique (List.map (fun e -> e.Event.loc) t.ordered)
+let order_index t id = Hashtbl.find t.index id
+
+let program_order t =
+  let last = Hashtbl.create 17 in
+  List.fold_left
+    (fun r (e : Event.t) ->
+      let r =
+        match Hashtbl.find_opt last e.Event.proc with
+        | None -> r
+        | Some prev -> Relation.add prev e.Event.id r
+      in
+      Hashtbl.replace last e.Event.proc e.Event.id;
+      r)
+    Relation.empty t.ordered
+
+let sync_order t =
+  let last_sync = Hashtbl.create 17 in
+  List.fold_left
+    (fun r (e : Event.t) ->
+      if Event.is_sync e then begin
+        let r =
+          match Hashtbl.find_opt last_sync e.Event.loc with
+          | None -> r
+          | Some prev -> Relation.add prev e.Event.id r
+        in
+        Hashtbl.replace last_sync e.Event.loc e.Event.id;
+        r
+      end
+      else r)
+    Relation.empty t.ordered
+
+let is_augmented t = t.virtual_proc <> None
+let virtual_proc t = t.virtual_proc
+
+let augment t =
+  if is_augmented t then t
+  else begin
+    let ps = procs t in
+    let vp = 1 + List.fold_left max (-1) ps in
+    let special = 1 + List.fold_left max (-1) (locs t) in
+    let next_id = ref (1 + List.fold_left (fun m (e : Event.t) -> max m e.Event.id) (-1) t.ordered) in
+    let fresh () = let i = !next_id in incr next_id; i in
+    let vseq = ref 0 in
+    let vnext () = let s = !vseq in incr vseq; s in
+    let init_writes =
+      List.map
+        (fun loc ->
+          Event.make ~id:(fresh ()) ~proc:vp ~seq:(vnext ()) ~kind:Event.Data_write
+            ~loc ~written_value:0 ())
+        (locs t)
+    in
+    let vsync () =
+      Event.make ~id:(fresh ()) ~proc:vp ~seq:(vnext ()) ~kind:Event.Sync_rmw
+        ~loc:special ~read_value:0 ~written_value:0 ()
+    in
+    let init_sync = vsync () in
+    (* Each real processor synchronizes on the special location before its
+       first access; we give these events negative sequence numbers so they
+       precede seq 0 in program order. *)
+    let leading =
+      List.map
+        (fun p ->
+          Event.make ~id:(fresh ()) ~proc:p ~seq:min_int ~kind:Event.Sync_rmw
+            ~loc:special ~read_value:0 ~written_value:0 ())
+        ps
+    in
+    let trailing =
+      List.map
+        (fun p ->
+          Event.make ~id:(fresh ()) ~proc:p ~seq:max_int ~kind:Event.Sync_rmw
+            ~loc:special ~read_value:0 ~written_value:0 ())
+        ps
+    in
+    let final_sync = vsync () in
+    let final_reads =
+      List.map
+        (fun loc ->
+          Event.make ~id:(fresh ()) ~proc:vp ~seq:(vnext ()) ~kind:Event.Data_read
+            ~loc ~read_value:0 ())
+        (locs t)
+    in
+    make ~virtual_proc:vp
+      (init_writes @ [ init_sync ] @ leading @ t.ordered @ trailing
+      @ [ final_sync ] @ final_reads)
+  end
+
+let final_memory t =
+  let mem = Hashtbl.create 17 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.written_value with
+      | Some v when Event.is_write e -> Hashtbl.replace mem e.Event.loc v
+      | _ -> ())
+    t.ordered;
+  Hashtbl.fold (fun loc v acc -> (loc, v) :: acc) mem []
+  |> List.sort compare
+
+let reads t = List.filter Event.is_read t.ordered
+let writes t = List.filter Event.is_write t.ordered
+
+let pp ppf t =
+  let ps = procs t in
+  let width = 14 in
+  let pad s =
+    let n = String.length s in
+    if n >= width then s else s ^ String.make (width - n) ' '
+  in
+  Format.fprintf ppf "%s@."
+    (String.concat "" (List.map (fun p -> pad (Printf.sprintf "P%d" p)) ps));
+  List.iter
+    (fun (e : Event.t) ->
+      let cell = Format.asprintf "%a" Event.pp e in
+      let cell =
+        (* strip the @Pn suffix: the column already says which processor *)
+        match String.index_opt cell '@' with
+        | Some i -> String.sub cell 0 i
+        | None -> cell
+      in
+      let line =
+        List.map
+          (fun p -> if p = e.Event.proc then pad cell else pad "")
+          ps
+      in
+      Format.fprintf ppf "%s@." (String.concat "" line))
+    t.ordered

@@ -1,0 +1,80 @@
+(** Executions on the idealized architecture (Section 4).
+
+    An idealized execution is a totally ordered sequence of events: all
+    memory accesses execute atomically, and the events of each processor
+    appear in program order.  Program order and synchronization order are
+    derived from it; happens-before lives in {!Happens_before}.
+
+    Machine traces (which have separate commit and globally-performed times)
+    are converted to this representation by the simulators before being
+    handed to the checkers. *)
+
+type t
+
+val of_ordered_events : Event.t list -> t
+(** [of_ordered_events evs] builds an execution whose total (execution)
+    order is the list order.  Event ids must be distinct.
+
+    @raise Invalid_argument if ids are not distinct, or if the events of
+    some processor do not appear in ascending [seq] order (an idealized
+    execution executes each processor in program order). *)
+
+val build :
+  (Event.proc * Event.kind * Event.loc * Event.value option * Event.value option)
+  list -> t
+(** Convenience constructor for transcribing figures: events are given in
+    execution order as [(proc, kind, loc, read_value, written_value)];
+    ids and per-processor sequence numbers are assigned automatically. *)
+
+val events : t -> Event.t list
+(** Events in execution order. *)
+
+val find : t -> int -> Event.t
+(** Event by id.  @raise Not_found if absent. *)
+
+val size : t -> int
+
+val procs : t -> Event.proc list
+(** Sorted, deduplicated. *)
+
+val locs : t -> Event.loc list
+(** Sorted, deduplicated. *)
+
+val order_index : t -> int -> int
+(** Position of the event with the given id in the execution order. *)
+
+val program_order : t -> Relation.t
+(** Adjacent program-order pairs (per processor, successive [seq]); take the
+    transitive closure for the full relation. *)
+
+val sync_order : t -> Relation.t
+(** [op1 so op2] iff both are synchronization operations on the same
+    location and [op1] completes before [op2] in the execution order
+    (Section 4).  Adjacent pairs only; closure gives the total per-location
+    order. *)
+
+val augment : t -> t
+(** The paper's initial/final-state augmentation: a virtual processor
+    executes an initializing write to every location followed by a
+    synchronization operation on a fresh special location; every real
+    processor then synchronizes on that location before its first access,
+    and again after its last; finally the virtual processor synchronizes
+    and reads every location.  Checking DRF0 on the augmented execution
+    accounts for conflicts with the initial and final state of memory. *)
+
+val is_augmented : t -> bool
+
+val virtual_proc : t -> Event.proc option
+(** The augmentation processor, if [augment] was applied. *)
+
+val final_memory : t -> (Event.loc * Event.value) list
+(** Last written value per location in execution order (locations never
+    written are absent). *)
+
+val reads : t -> Event.t list
+
+val writes : t -> Event.t list
+
+val pp : Format.formatter -> t -> unit
+(** Figure-2 style rendering: one column per processor, time flowing
+    downward. *)

@@ -1,0 +1,75 @@
+type t = Relation.t
+
+let of_relations ~po ~so = Relation.transitive_closure (Relation.union po so)
+
+let of_execution exn =
+  of_relations ~po:(Execution.program_order exn) ~so:(Execution.sync_order exn)
+
+let drf1_sync_order exn =
+  (* Under the Section-6 refinement only release->acquire pairs order other
+     processors' accesses: the source must have a write component and the
+     target a read component.  We rebuild per-location edges from the
+     execution order rather than filtering adjacent-pair edges, because
+     dropping an intermediate read-only sync must not break the chain
+     between the writes around it. *)
+  let by_loc = Hashtbl.create 17 in
+  List.iter
+    (fun (e : Event.t) ->
+      if Event.is_sync e then begin
+        let prior =
+          match Hashtbl.find_opt by_loc e.Event.loc with
+          | None -> []
+          | Some l -> l
+        in
+        Hashtbl.replace by_loc e.Event.loc (e :: prior)
+      end)
+    (Execution.events exn);
+  Hashtbl.fold
+    (fun _loc evs_rev r ->
+      (* evs_rev is in reverse execution order *)
+      let evs = List.rev evs_rev in
+      let rec pairs r = function
+        | [] -> r
+        | (s1 : Event.t) :: rest ->
+          let r =
+            if Event.is_write s1 then
+              List.fold_left
+                (fun r (s2 : Event.t) ->
+                  if Event.is_read s2 then Relation.add s1.Event.id s2.Event.id r
+                  else r)
+                r rest
+            else r
+          in
+          pairs r rest
+      in
+      pairs r evs)
+    by_loc Relation.empty
+
+let of_execution_drf1 exn =
+  of_relations ~po:(Execution.program_order exn) ~so:(drf1_sync_order exn)
+
+let ordered hb a b = Relation.mem a b hb
+let orders hb a b = ordered hb a b || ordered hb b a
+let relation hb = hb
+
+let is_partial_order hb =
+  Relation.is_irreflexive hb && Relation.is_transitive hb
+
+let last_write_before hb ~events (r : Event.t) =
+  let candidates =
+    List.filter
+      (fun (w : Event.t) ->
+        Event.is_write w && w.Event.loc = r.Event.loc
+        && ordered hb w.Event.id r.Event.id)
+      events
+  in
+  let maximal =
+    List.filter
+      (fun (w : Event.t) ->
+        List.for_all
+          (fun (w' : Event.t) ->
+            Event.equal w w' || not (ordered hb w.Event.id w'.Event.id))
+          candidates)
+      candidates
+  in
+  match maximal with [ w ] -> Some w | _ -> None

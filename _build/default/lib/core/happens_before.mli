@@ -1,0 +1,49 @@
+(** The happens-before relation (Section 4).
+
+    For an execution on the idealized architecture, happens-before is the
+    irreflexive transitive closure of program order and synchronization
+    order: [hb = (po ∪ so)+].  Two operations of different processors are
+    ordered by happens-before only if intervening synchronization
+    operations connect them, exactly as in the paper's example chain
+    [op(P1,x) -po- S(P1,s) -so- S(P2,s) -po- S(P2,t) -so- S(P3,t) -po- op(P3,x)]. *)
+
+type t
+
+val of_execution : Execution.t -> t
+(** Happens-before of the given idealized execution under DRF0's
+    synchronization order (every pair of same-location synchronization
+    operations synchronizes). *)
+
+val of_execution_drf1 : Execution.t -> t
+(** Happens-before under the refined model of Section 6 ("DRF1"): a
+    read-only synchronization operation cannot be used to order the issuing
+    processor's previous accesses with respect to other processors, so a
+    synchronization-order edge contributes to happens-before only when its
+    source has a write component and its target has a read component
+    (release/acquire pairs).  Program order is unchanged. *)
+
+val of_relations : po:Relation.t -> so:Relation.t -> t
+(** Happens-before from explicit program-order and synchronization-order
+    edge sets (used by the Lemma-1 checker on machine traces, where
+    synchronization order comes from commit times). *)
+
+val ordered : t -> int -> int -> bool
+(** [ordered hb a b] iff event [a] happens-before event [b]. *)
+
+val orders : t -> int -> int -> bool
+(** [orders hb a b] iff [a] and [b] are ordered either way. *)
+
+val relation : t -> Relation.t
+(** The closed relation itself. *)
+
+val is_partial_order : t -> bool
+(** Irreflexive and transitive (fails when po ∪ so was cyclic, which cannot
+    happen for well-formed idealized executions but can for arbitrary edge
+    sets given to {!of_relations}). *)
+
+val last_write_before : t -> events:Event.t list -> Event.t -> Event.t option
+(** [last_write_before hb ~events r] is the hb-maximal write (among
+    [events]) to the location of read [r] that happens-before [r], if the
+    set of such writes has a unique maximum (it does in data-race-free
+    executions; [None] if there is no such write or no unique maximum).
+    Used by the Lemma-1 checker. *)

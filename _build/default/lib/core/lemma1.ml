@@ -1,0 +1,77 @@
+type violation =
+  | Cyclic_orders
+  | Unordered_conflict of { e1 : Event.t; e2 : Event.t }
+  | Read_not_last_write of {
+      read : Event.t;
+      expected : Event.value;
+      got : Event.value;
+    }
+  | Ambiguous_last_write of Event.t
+
+let check_hb ~init ~events hb =
+  if not (Happens_before.is_partial_order hb) then Error [ Cyclic_orders ]
+  else begin
+    let violations = ref [] in
+    let evs = Array.of_list events in
+    let n = Array.length evs in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let a = evs.(i) and b = evs.(j) in
+        if
+          a.Event.proc <> b.Event.proc
+          && Event.conflicts a b
+          && not (Happens_before.orders hb a.Event.id b.Event.id)
+        then violations := Unordered_conflict { e1 = a; e2 = b } :: !violations
+      done
+    done;
+    Array.iter
+      (fun (e : Event.t) ->
+        match e.Event.read_value with
+        | Some got when Event.is_read e -> (
+          let has_hb_write =
+            List.exists
+              (fun (w : Event.t) ->
+                Event.is_write w
+                && w.Event.loc = e.Event.loc
+                && Happens_before.ordered hb w.Event.id e.Event.id)
+              events
+          in
+          if not has_hb_write then begin
+            let expected = init e.Event.loc in
+            if got <> expected then
+              violations :=
+                Read_not_last_write { read = e; expected; got } :: !violations
+          end
+          else
+            match Happens_before.last_write_before hb ~events e with
+            | None -> violations := Ambiguous_last_write e :: !violations
+            | Some w -> (
+              match w.Event.written_value with
+              | Some expected when expected <> got ->
+                violations :=
+                  Read_not_last_write { read = e; expected; got } :: !violations
+              | _ -> ()))
+        | _ -> ())
+      evs;
+    match List.rev !violations with [] -> Ok () | vs -> Error vs
+  end
+
+let check ?(init = fun _ -> 0) ~events ~po ~so () =
+  check_hb ~init ~events (Happens_before.of_relations ~po ~so)
+
+let check_execution ?(init = fun _ -> 0) ?(model = Sync_model.drf0) exn =
+  check_hb ~init ~events:(Execution.events exn)
+    (model.Sync_model.happens_before exn)
+
+let pp_violation ppf = function
+  | Cyclic_orders ->
+    Format.fprintf ppf "program order U synchronization order is cyclic"
+  | Unordered_conflict { e1; e2 } ->
+    Format.fprintf ppf "conflicting accesses unordered: %a vs %a" Event.pp e1
+      Event.pp e2
+  | Read_not_last_write { read; expected; got } ->
+    Format.fprintf ppf
+      "%a returned %d but the happens-before-last write stored %d" Event.pp
+      read got expected
+  | Ambiguous_last_write e ->
+    Format.fprintf ppf "no unique happens-before-last write for %a" Event.pp e

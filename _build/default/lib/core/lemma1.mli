@@ -1,0 +1,49 @@
+(** The Lemma-1 checker (Appendix A).
+
+    Lemma 1: a system is weakly ordered with respect to DRF0 iff for any
+    execution E of a program that obeys DRF0 there is a happens-before
+    relation such that every read of E appears in it and returns the value
+    written by the last write to the same location ordered before it by
+    happens-before.
+
+    The checker takes the events of a machine trace together with explicit
+    program order and synchronization order (the latter taken from commit
+    times, matching the so(t) of Appendix B), builds [hb = (po ∪ so)+], and
+    checks the condition directly.  The simulators use it as a per-run
+    correctness oracle that is much cheaper than the exponential SC witness
+    search — and, unlike outcome comparison, it localizes the failure. *)
+
+type violation =
+  | Cyclic_orders
+      (** po ∪ so has a cycle, so no happens-before exists. *)
+  | Unordered_conflict of { e1 : Event.t; e2 : Event.t }
+      (** The execution is not data-race-free under this happens-before, so
+          Lemma 1 does not apply (the program side of the contract was
+          broken). *)
+  | Read_not_last_write of {
+      read : Event.t;
+      expected : Event.value;  (** value of the hb-last write (or initial) *)
+      got : Event.value;
+    }
+  | Ambiguous_last_write of Event.t
+      (** No unique hb-maximal write before this read; cannot happen when
+          the conflict check passes, reported defensively. *)
+
+val check :
+  ?init:(Event.loc -> Event.value) ->
+  events:Event.t list ->
+  po:Relation.t ->
+  so:Relation.t ->
+  unit ->
+  (unit, violation list) result
+(** Check the Lemma-1 condition.  All violations are collected. *)
+
+val check_execution :
+  ?init:(Event.loc -> Event.value) ->
+  ?model:Sync_model.t ->
+  Execution.t ->
+  (unit, violation list) result
+(** Convenience for idealized executions: derive po and so from the
+    execution under the given model (default DRF0). *)
+
+val pp_violation : Format.formatter -> violation -> unit

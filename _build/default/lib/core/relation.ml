@@ -1,0 +1,189 @@
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+(* A relation is an adjacency map from node to successor set, plus the set of
+   nodes mentioned anywhere (so isolated predecessors are not lost). *)
+type t = { succ : Int_set.t Int_map.t; universe : Int_set.t }
+
+let empty = { succ = Int_map.empty; universe = Int_set.empty }
+
+let add a b r =
+  let set = match Int_map.find_opt a r.succ with
+    | None -> Int_set.singleton b
+    | Some s -> Int_set.add b s
+  in
+  { succ = Int_map.add a set r.succ;
+    universe = Int_set.add a (Int_set.add b r.universe) }
+
+let mem a b r =
+  match Int_map.find_opt a r.succ with
+  | None -> false
+  | Some s -> Int_set.mem b s
+
+let of_list l = List.fold_left (fun r (a, b) -> add a b r) empty l
+
+let pairs r =
+  Int_map.fold
+    (fun a s acc -> Int_set.fold (fun b acc -> (a, b) :: acc) s acc)
+    r.succ []
+  |> List.sort compare
+
+let union a b = List.fold_left (fun r (x, y) -> add x y r) a (pairs b)
+
+let successors a r =
+  match Int_map.find_opt a r.succ with
+  | None -> []
+  | Some s -> Int_set.elements s
+
+let nodes r = Int_set.elements r.universe
+
+let cardinal r = Int_map.fold (fun _ s n -> n + Int_set.cardinal s) r.succ 0
+
+let is_empty r = Int_map.is_empty r.succ
+
+let reachable_set start r =
+  (* Nodes reachable from [start] in one or more steps (depth-first). *)
+  let seen = ref Int_set.empty in
+  let rec visit a =
+    List.iter
+      (fun b ->
+        if not (Int_set.mem b !seen) then begin
+          seen := Int_set.add b !seen;
+          visit b
+        end)
+      (successors a r)
+  in
+  visit start;
+  !seen
+
+let reachable start r = Int_set.elements (reachable_set start r)
+
+let transitive_closure r =
+  Int_set.fold
+    (fun a acc ->
+      Int_set.fold (fun b acc -> add a b acc) (reachable_set a r) acc)
+    r.universe empty
+
+let is_irreflexive r =
+  not (Int_map.exists (fun a s -> Int_set.mem a s) r.succ)
+
+let is_transitive r =
+  List.for_all
+    (fun (a, b) -> List.for_all (fun c -> mem a c r) (successors b r))
+    (pairs r)
+
+let is_acyclic r =
+  (* DFS three-colouring: a back edge to a node on the current stack is a
+     cycle. *)
+  let state = Hashtbl.create 97 in
+  let rec visit a =
+    match Hashtbl.find_opt state a with
+    | Some `Done -> true
+    | Some `Active -> false
+    | None ->
+      Hashtbl.replace state a `Active;
+      let ok = List.for_all visit (successors a r) in
+      Hashtbl.replace state a `Done;
+      ok
+  in
+  List.for_all visit (nodes r)
+
+let restrict ~keep r =
+  List.fold_left
+    (fun acc (a, b) -> if keep a && keep b then add a b acc else acc)
+    empty (pairs r)
+
+let in_degrees ~nodes r =
+  let node_set = Int_set.of_list nodes in
+  let deg = Hashtbl.create 97 in
+  List.iter (fun a -> Hashtbl.replace deg a 0) nodes;
+  List.iter
+    (fun (a, b) ->
+      if Int_set.mem a node_set && Int_set.mem b node_set then
+        Hashtbl.replace deg b (Hashtbl.find deg b + 1))
+    (pairs r);
+  deg
+
+let topological_sort ~nodes r =
+  let deg = in_degrees ~nodes r in
+  let node_set = Int_set.of_list nodes in
+  let module Q = Set.Make (Int) in
+  let ready =
+    List.filter (fun a -> Hashtbl.find deg a = 0) nodes |> Q.of_list
+  in
+  let rec go ready acc n =
+    if Q.is_empty ready then
+      if n = List.length nodes then Some (List.rev acc) else None
+    else
+      let a = Q.min_elt ready in
+      let ready = Q.remove a ready in
+      let ready =
+        List.fold_left
+          (fun q b ->
+            if Int_set.mem b node_set then begin
+              let d = Hashtbl.find deg b - 1 in
+              Hashtbl.replace deg b d;
+              if d = 0 then Q.add b q else q
+            end
+            else q)
+          ready (successors a r)
+      in
+      go ready (a :: acc) (n + 1)
+  in
+  go ready [] 0
+
+let linearizations ?limit ~nodes r =
+  let node_set = Int_set.of_list nodes in
+  let deg = in_degrees ~nodes r in
+  let total = List.length nodes in
+  let results = ref [] in
+  let count = ref 0 in
+  let hit_limit () = match limit with None -> false | Some l -> !count >= l in
+  let rec go acc placed ready =
+    if hit_limit () then ()
+    else if placed = total then begin
+      incr count;
+      results := List.rev acc :: !results
+    end
+    else
+      Int_set.iter
+        (fun a ->
+          if not (hit_limit ()) then begin
+            let newly_ready = ref Int_set.empty in
+            List.iter
+              (fun b ->
+                if Int_set.mem b node_set then begin
+                  let d = Hashtbl.find deg b - 1 in
+                  Hashtbl.replace deg b d;
+                  if d = 0 then newly_ready := Int_set.add b !newly_ready
+                end)
+              (successors a r);
+            go (a :: acc) (placed + 1)
+              (Int_set.union (Int_set.remove a ready) !newly_ready);
+            (* undo *)
+            List.iter
+              (fun b ->
+                if Int_set.mem b node_set then
+                  Hashtbl.replace deg b (Hashtbl.find deg b + 1))
+              (successors a r)
+          end)
+        ready
+  in
+  let ready =
+    List.filter (fun a -> Hashtbl.find deg a = 0) nodes |> Int_set.of_list
+  in
+  go [] 0 ready;
+  List.rev !results
+
+let consistent a b = is_acyclic (union a b)
+
+let equal a b = pairs a = pairs b
+
+let pp ppf r =
+  Format.fprintf ppf "@[<hov 1>{";
+  List.iteri
+    (fun i (a, b) ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%d->%d" a b)
+    (pairs r);
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,71 @@
+(** Finite binary relations over integer-identified nodes.
+
+    This is the substrate for the paper's order relations: program order,
+    synchronization order, and happens-before (the irreflexive transitive
+    closure of their union, Section 4).  Relations are immutable; nodes are
+    event identifiers. *)
+
+type t
+
+val empty : t
+(** The empty relation. *)
+
+val add : int -> int -> t -> t
+(** [add a b r] is [r] extended with the pair [(a, b)]. *)
+
+val mem : int -> int -> t -> bool
+(** [mem a b r] is [true] iff [(a, b)] is in [r]. *)
+
+val of_list : (int * int) list -> t
+
+val pairs : t -> (int * int) list
+(** All pairs of the relation, sorted. *)
+
+val union : t -> t -> t
+
+val successors : int -> t -> int list
+(** Sorted list of [b] such that [(a, b)] is in the relation. *)
+
+val nodes : t -> int list
+(** Sorted list of all nodes appearing on either side of a pair. *)
+
+val cardinal : t -> int
+(** Number of pairs. *)
+
+val is_empty : t -> bool
+
+val transitive_closure : t -> t
+(** Irreflexive transitive closure is [transitive_closure] of an
+    irreflexive relation; note the closure of a cyclic relation contains
+    reflexive pairs. *)
+
+val reachable : int -> t -> int list
+(** Nodes reachable from the given node in one or more steps. *)
+
+val is_acyclic : t -> bool
+(** [true] iff the relation, viewed as a directed graph, has no cycle. *)
+
+val is_irreflexive : t -> bool
+
+val is_transitive : t -> bool
+
+val restrict : keep:(int -> bool) -> t -> t
+(** Keep only pairs whose both endpoints satisfy [keep]. *)
+
+val topological_sort : nodes:int list -> t -> int list option
+(** A total order of [nodes] consistent with the relation, or [None] if the
+    relation restricted to [nodes] is cyclic.  Ties are broken by ascending
+    node id, making the result deterministic. *)
+
+val linearizations : ?limit:int -> nodes:int list -> t -> int list list
+(** All total orders of [nodes] consistent with the relation, up to [limit]
+    (default: unbounded).  Exponential; intended for litmus-scale inputs. *)
+
+val consistent : t -> t -> bool
+(** [consistent a b] is [true] iff the union of [a] and [b] is acyclic, i.e.
+    they can be extended to a common total order (the notion used by
+    Shasha–Snir and in Appendix A). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  description : string;
+  happens_before : Execution.t -> Happens_before.t;
+}
+
+let drf0 =
+  {
+    name = "DRF0";
+    description =
+      "Data-Race-Free-0 (Definition 3): conflicting accesses must be \
+       ordered by (po U so)+ where every pair of same-location \
+       synchronization operations synchronizes.";
+    happens_before = Happens_before.of_execution;
+  }
+
+let drf1 =
+  {
+    name = "DRF1";
+    description =
+      "Section-6 refinement of DRF0: only write->read synchronization \
+       pairs order other processors' accesses, so read-only \
+       synchronization (e.g. Test) need not be serialized.";
+    happens_before = Happens_before.of_execution_drf1;
+  }
+
+let pp ppf t = Format.fprintf ppf "%s" t.name

@@ -1,0 +1,28 @@
+(** Synchronization models (Section 3).
+
+    A synchronization model is "a set of constraints on memory accesses that
+    specify how and when synchronization needs to be done".  Definition 2 is
+    parameterized by one; this module represents the family used in the
+    paper: models that require all conflicting accesses to be ordered by a
+    happens-before relation, differing only in which synchronization-order
+    edges contribute to it. *)
+
+type t = {
+  name : string;
+  description : string;
+  happens_before : Execution.t -> Happens_before.t;
+      (** The happens-before relation this model induces on an idealized
+          execution. *)
+}
+
+val drf0 : t
+(** Data-Race-Free-0 (Definition 3): every pair of same-location
+    synchronization operations synchronizes. *)
+
+val drf1 : t
+(** The Section-6 refinement: read-only synchronization operations do not
+    order the issuing processor's previous accesses with respect to other
+    processors; only write→read (release→acquire) synchronization pairs
+    create cross-processor ordering. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+type 'a verdict = {
+  observed : int;
+  distinct_observed : 'a list;
+  violations : 'a list;
+}
+
+let dedup ~compare l = List.sort_uniq compare l
+
+let appears_sc ~compare ~sc_outcomes ~observed =
+  let sc = dedup ~compare sc_outcomes in
+  let distinct_observed = dedup ~compare observed in
+  let in_sc o = List.exists (fun s -> compare s o = 0) sc in
+  {
+    observed = List.length observed;
+    distinct_observed;
+    violations = List.filter (fun o -> not (in_sc o)) distinct_observed;
+  }
+
+let holds v = v.violations = []
+
+let coverage ~compare ~sc_outcomes v =
+  let sc = dedup ~compare sc_outcomes in
+  List.length
+    (List.filter
+       (fun s -> List.exists (fun o -> compare s o = 0) v.distinct_observed)
+       sc)

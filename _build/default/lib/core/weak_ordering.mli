@@ -1,0 +1,33 @@
+(** Definition 2 as a testable contract.
+
+    "Hardware is weakly ordered with respect to a synchronization model if
+    and only if it appears sequentially consistent to all software that
+    obeys the synchronization model."
+
+    Exhaustively quantifying over all software is impossible, so the
+    harness falsifies: given the set of sequentially consistent outcomes of
+    a program (from the idealized-architecture enumerator) and a bag of
+    outcomes observed on a machine, it reports every observed outcome
+    outside the SC set.  Run over many (randomized) programs that obey the
+    model, a machine with zero violations is consistent with being weakly
+    ordered; a single violation disproves it. *)
+
+type 'a verdict = {
+  observed : int;             (** number of observed outcomes checked *)
+  distinct_observed : 'a list;(** distinct observed outcomes *)
+  violations : 'a list;       (** distinct observed outcomes outside SC *)
+}
+
+val appears_sc :
+  compare:('a -> 'a -> int) -> sc_outcomes:'a list -> observed:'a list ->
+  'a verdict
+(** Compare observed outcomes against the SC outcome set. *)
+
+val holds : 'a verdict -> bool
+(** No violations. *)
+
+val coverage :
+  compare:('a -> 'a -> int) -> sc_outcomes:'a list -> 'a verdict -> int
+(** How many distinct SC outcomes were actually observed — useful to judge
+    how stressful a run was (a machine that always executes one
+    interleaving trivially appears SC). *)

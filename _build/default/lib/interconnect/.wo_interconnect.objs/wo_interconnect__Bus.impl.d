@@ -1,0 +1,1 @@
+lib/interconnect/bus.ml: Hashtbl Printf Queue Wo_sim

@@ -1,0 +1,1 @@
+lib/interconnect/fabric.ml: Bus Network

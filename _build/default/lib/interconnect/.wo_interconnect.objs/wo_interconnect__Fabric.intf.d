@@ -1,0 +1,1 @@
+lib/interconnect/fabric.mli: Bus Network

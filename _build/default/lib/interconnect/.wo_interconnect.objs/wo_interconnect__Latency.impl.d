@@ -1,0 +1,1 @@
+lib/interconnect/latency.ml: List Wo_sim

@@ -1,0 +1,1 @@
+lib/interconnect/latency.mli: Wo_sim

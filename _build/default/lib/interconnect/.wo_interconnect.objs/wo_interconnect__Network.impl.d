@@ -1,0 +1,1 @@
+lib/interconnect/network.ml: Hashtbl Latency Printf Wo_sim

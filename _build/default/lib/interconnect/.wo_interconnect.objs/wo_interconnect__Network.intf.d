@@ -1,0 +1,1 @@
+lib/interconnect/network.mli: Latency Wo_sim

@@ -1,0 +1,47 @@
+type 'msg pending = { dst : int; msg : 'msg }
+
+type 'msg t = {
+  engine : Wo_sim.Engine.t;
+  stats : Wo_sim.Stats.t option;
+  transfer_cycles : int;
+  handlers : (int, 'msg -> unit) Hashtbl.t;
+  queue : 'msg pending Queue.t;
+  mutable busy : bool;
+  mutable sent : int;
+}
+
+let create ~engine ?stats ?(transfer_cycles = 2) () =
+  {
+    engine;
+    stats;
+    transfer_cycles;
+    handlers = Hashtbl.create 17;
+    queue = Queue.create ();
+    busy = false;
+    sent = 0;
+  }
+
+let connect t ~node handler = Hashtbl.replace t.handlers node handler
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some { dst; msg } ->
+    t.busy <- true;
+    Wo_sim.Engine.schedule t.engine ~delay:t.transfer_cycles (fun () ->
+        (match Hashtbl.find_opt t.handlers dst with
+        | Some handler -> handler msg
+        | None ->
+          invalid_arg (Printf.sprintf "Bus.send: no handler for node %d" dst));
+        start_next t)
+
+let send t ~src:_ ~dst msg =
+  t.sent <- t.sent + 1;
+  (match t.stats with
+  | Some s -> Wo_sim.Stats.incr s "bus.messages"
+  | None -> ());
+  Queue.add { dst; msg } t.queue;
+  if not t.busy then start_next t
+
+let messages_sent t = t.sent
+let busy t = t.busy

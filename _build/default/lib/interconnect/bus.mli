@@ -1,0 +1,26 @@
+(** A shared, arbitrated bus.
+
+    One message occupies the bus for [transfer_cycles]; contending messages
+    queue in request order.  Every delivery is therefore serialized and
+    globally ordered — the property that distinguishes Figure 1's bus
+    configurations from the network ones (with a bus, reordering can only
+    come from the processor side, e.g. a write buffer). *)
+
+type 'msg t
+
+val create :
+  engine:Wo_sim.Engine.t ->
+  ?stats:Wo_sim.Stats.t ->
+  ?transfer_cycles:int ->
+  unit ->
+  'msg t
+(** [transfer_cycles] defaults to 2. *)
+
+val connect : 'msg t -> node:int -> ('msg -> unit) -> unit
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueue a bus transaction from [src] to [dst]. *)
+
+val messages_sent : 'msg t -> int
+
+val busy : 'msg t -> bool

@@ -1,0 +1,15 @@
+(** First-class interconnect handle.
+
+    The machines are parameterized by a fabric so the same protocol logic
+    runs over a serializing bus or a reordering general network — the only
+    difference Figure 1 cares about. *)
+
+type 'msg t = {
+  send : src:int -> dst:int -> 'msg -> unit;
+  connect : node:int -> ('msg -> unit) -> unit;
+  messages_sent : unit -> int;
+}
+
+val of_network : 'msg Network.t -> 'msg t
+
+val of_bus : 'msg Bus.t -> 'msg t

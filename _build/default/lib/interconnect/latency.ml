@@ -1,0 +1,20 @@
+type t = src:int -> dst:int -> int
+
+let fixed n ~src:_ ~dst:_ = n
+
+let jittered rng ~base ~jitter ~src:_ ~dst:_ =
+  if jitter <= 0 then base else base + Wo_sim.Rng.int rng (jitter + 1)
+
+let spiky rng ~base ~jitter ~spike_probability ~spike_factor ~src:_ ~dst:_ =
+  let d = if jitter <= 0 then base else base + Wo_sim.Rng.int rng (jitter + 1) in
+  if Wo_sim.Rng.chance rng spike_probability then d * max 1 spike_factor else d
+
+let scale_nodes factors inner ~src ~dst =
+  let factor n = match List.assoc_opt n factors with Some f -> f | None -> 1 in
+  inner ~src ~dst * max (factor src) (factor dst)
+
+let scale_routes factors inner ~src ~dst =
+  let factor =
+    match List.assoc_opt (src, dst) factors with Some f -> f | None -> 1
+  in
+  inner ~src ~dst * factor

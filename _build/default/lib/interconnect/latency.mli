@@ -1,0 +1,34 @@
+(** Latency models for point-to-point networks.
+
+    A latency model maps (source, destination) to the delivery delay of one
+    message.  Jittered models consult a {!Wo_sim.Rng} per message, which is
+    what makes a "general interconnection network" reorder messages
+    (Figure 1, configurations 2 and 4); fixed models keep per-pair FIFO
+    order when combined with {!Network}'s FIFO tie-breaking. *)
+
+type t = src:int -> dst:int -> int
+
+val fixed : int -> t
+
+val jittered : Wo_sim.Rng.t -> base:int -> jitter:int -> t
+(** [base + uniform(0, jitter)] per message. *)
+
+val scale_nodes : (int * int) list -> t -> t
+(** [scale_nodes [(node, factor); ...] inner] multiplies the inner latency
+    by [factor] for messages to or from the listed nodes — used to make one
+    processor's invalidations slow, as in the Figure-3 scenario. *)
+
+val spiky :
+  Wo_sim.Rng.t -> base:int -> jitter:int -> spike_probability:float ->
+  spike_factor:int -> t
+(** Like {!jittered}, but each message independently suffers a congestion
+    spike with the given probability, multiplying its delay — a
+    heavy-tailed network.  Weak machines' rare reorderings (e.g. an
+    invalidation overtaken by a whole synchronization chain) need such
+    tails to show up at observable rates. *)
+
+val scale_routes : ((int * int) * int) list -> t -> t
+(** [scale_routes [((src, dst), factor); ...] inner] multiplies the inner
+    latency on the listed directed routes only — an asymmetric congestion
+    model (used by the ablation experiment to widen the windows the
+    Section-5.1 mechanisms close). *)

@@ -1,0 +1,25 @@
+type 'msg t = {
+  engine : Wo_sim.Engine.t;
+  stats : Wo_sim.Stats.t option;
+  latency : Latency.t;
+  handlers : (int, 'msg -> unit) Hashtbl.t;
+  mutable sent : int;
+}
+
+let create ~engine ?stats ~latency () =
+  { engine; stats; latency; handlers = Hashtbl.create 17; sent = 0 }
+
+let connect t ~node handler = Hashtbl.replace t.handlers node handler
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  (match t.stats with
+  | Some s -> Wo_sim.Stats.incr s "network.messages"
+  | None -> ());
+  let delay = max 1 (t.latency ~src ~dst) in
+  Wo_sim.Engine.schedule t.engine ~delay (fun () ->
+      match Hashtbl.find_opt t.handlers dst with
+      | Some handler -> handler msg
+      | None -> invalid_arg (Printf.sprintf "Network.send: no handler for node %d" dst))
+
+let messages_sent t = t.sent

@@ -1,0 +1,1 @@
+lib/litmus/figure2.ml: Wo_core

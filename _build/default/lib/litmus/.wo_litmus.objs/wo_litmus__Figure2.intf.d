@@ -1,0 +1,1 @@
+lib/litmus/figure2.mli: Wo_core

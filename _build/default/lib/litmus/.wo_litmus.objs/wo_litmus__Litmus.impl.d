@@ -1,0 +1,1 @@
+lib/litmus/litmus.ml: Array List Wo_prog

@@ -1,0 +1,1 @@
+lib/litmus/litmus.mli: Wo_prog

@@ -1,0 +1,1 @@
+lib/litmus/parse.ml: Format Hashtbl List Litmus String Wo_core Wo_prog

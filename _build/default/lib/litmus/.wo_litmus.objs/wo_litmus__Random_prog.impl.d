@@ -1,0 +1,1 @@
+lib/litmus/random_prog.ml: List Printf Wo_prog Wo_sim

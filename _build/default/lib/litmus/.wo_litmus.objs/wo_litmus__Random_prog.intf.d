@@ -1,0 +1,1 @@
+lib/litmus/random_prog.mli: Wo_prog

@@ -1,0 +1,1 @@
+lib/litmus/runner.ml: Format Hashtbl List Litmus Wo_core Wo_machines Wo_prog

@@ -1,0 +1,1 @@
+lib/litmus/runner.mli: Format Litmus Wo_machines Wo_prog

@@ -1,0 +1,56 @@
+module E = Wo_core.Event
+module X = Wo_core.Execution
+
+let w loc v = (E.Data_write, loc, None, Some v)
+let r loc v = (E.Data_read, loc, Some v, None)
+let s loc v = (E.Sync_rmw, loc, Some v, Some (v + 1))
+
+let ev p (kind, loc, rv, wv) = (p, kind, loc, rv, wv)
+
+(* Locations, matching the figure's names. *)
+let x = 0
+let y = 1
+let z = 2
+let a = 3
+let b = 4
+let c = 5
+
+let execution_a =
+  X.build
+    [
+      ev 0 (w x 1);
+      ev 1 (r y 0);
+      ev 0 (s a 0);
+      ev 1 (w y 1);
+      ev 1 (s a 1);
+      ev 1 (r x 1);
+      ev 2 (s a 2);
+      ev 2 (r x 1);
+      ev 2 (w y 2);
+      ev 2 (s b 0);
+      ev 3 (s b 1);
+      ev 3 (r y 2);
+      ev 3 (w z 1);
+      ev 3 (s c 0);
+      ev 4 (s c 1);
+      ev 4 (r z 1);
+      ev 5 (s c 2);
+      ev 5 (r z 1);
+    ]
+
+let execution_b =
+  X.build
+    [
+      ev 0 (r x 0);
+      ev 1 (w x 1);
+      ev 2 (w y 1);
+      ev 2 (s b 0);
+      ev 3 (s b 1);
+      ev 3 (r y 1);
+      ev 4 (w y 2);
+      ev 0 (r x 0);
+    ]
+
+(* P0's two reads of x each race with P1's write; P2's write of y races
+   with P4's; P3's read of y races with P4's write. *)
+let expected_races_b = 4

@@ -1,0 +1,24 @@
+(** The two executions of Figure 2 — the paper's example and
+    counter-example of DRF0.
+
+    The figure's source text is partially garbled in the available copy,
+    so these are reconstructions of the structure its caption describes;
+    the caption's properties are what the checkers (and the test suite)
+    verify mechanically:
+
+    - (a) "obeys DRF0 since all conflicting accesses are ordered by
+      happens-before";
+    - (b) "does not obey DRF0 since the accesses of P0 conflict with the
+      write of P1 but are not ordered with respect to it by
+      happens-before.  Similarly, the writes by P2 and P4 conflict, but
+      are unordered." *)
+
+val execution_a : Wo_core.Execution.t
+(** Six processors; a chain of synchronized handoffs on locations a, b, c
+    ordering every conflict on x, y, z. *)
+
+val execution_b : Wo_core.Execution.t
+(** Five processors; exactly the unordered conflicts the caption names. *)
+
+val expected_races_b : int
+(** Number of racing pairs the exhaustive checker finds in (b). *)

@@ -1,0 +1,424 @@
+module I = Wo_prog.Instr
+module N = Wo_prog.Names
+
+type t = {
+  name : string;
+  description : string;
+  program : Wo_prog.Program.t;
+  drf0 : bool;
+  loops : bool;
+  interesting : (string * (Wo_prog.Outcome.t -> bool)) list;
+}
+
+let reg_is o p r v =
+  match Wo_prog.Outcome.register o p r with Some x -> x = v | None -> false
+
+let both_killed o = reg_is o 0 N.r0 0 && reg_is o 1 N.r0 0
+
+let figure1 =
+  {
+    name = "figure1";
+    description =
+      "The Figure-1 program: X = 1; if (Y == 0) kill || Y = 1; if (X == 0) \
+       kill.  Sequential consistency forbids killing both.";
+    program =
+      Wo_prog.Program.make ~name:"figure1"
+        [
+          [ I.Write (N.x, I.Const 1); I.Read (N.r0, N.y) ];
+          [ I.Write (N.y, I.Const 1); I.Read (N.r0, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting = [ ("both-killed", both_killed) ];
+  }
+
+let warmup = [ I.Read (N.r2, N.x); I.Read (N.r3, N.y) ]
+
+let figure1_warmed =
+  {
+    name = "figure1-warmed";
+    description =
+      "Figure 1 after both processors bring X and Y into their caches in \
+       shared state — the precondition the paper gives for the cached \
+       configurations.";
+    program =
+      Wo_prog.Program.make ~name:"figure1-warmed"
+        ~observable:[ (0, N.r0); (1, N.r0) ]
+        [
+          warmup @ Wo_prog.Snippets.local_work 20
+          @ [ I.Write (N.x, I.Const 1); I.Read (N.r0, N.y) ];
+          warmup @ Wo_prog.Snippets.local_work 20
+          @ [ I.Write (N.y, I.Const 1); I.Read (N.r0, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting = [ ("both-killed", both_killed) ];
+  }
+
+let message_passing =
+  {
+    name = "message-passing";
+    description =
+      "Racy producer/consumer: data write then flag write; the consumer \
+       reads flag then data and may see the flag without the data.";
+    program =
+      Wo_prog.Program.make ~name:"message-passing"
+        [
+          [ I.Write (N.x, I.Const 42); I.Write (N.y, I.Const 1) ];
+          [ I.Read (N.r1, N.y); I.Read (N.r0, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [ ("flag-without-data", fun o -> reg_is o 1 N.r1 1 && reg_is o 1 N.r0 0) ];
+  }
+
+let message_passing_sync =
+  {
+    name = "message-passing-sync";
+    description =
+      "DRF0 producer/consumer: the flag is a synchronization location and \
+       the consumer spins with read-only synchronization before reading \
+       the data.";
+    program =
+      Wo_prog.Program.make ~name:"message-passing-sync"
+        ~observable:[ (1, N.r0) ]
+        [
+          [ I.Write (N.x, I.Const 42); I.Sync_write (N.s, I.Const 1) ];
+          [
+            I.Assign (N.r1, I.Const 0);
+            I.While
+              (I.Eq (I.Reg N.r1, I.Const 0), [ I.Sync_read (N.r1, N.s) ]);
+            I.Read (N.r0, N.x);
+          ];
+        ];
+    drf0 = true;
+    loops = true;
+    interesting = [ ("stale-data", fun o -> not (reg_is o 1 N.r0 42)) ];
+  }
+
+let coherence =
+  {
+    name = "coherence";
+    description =
+      "Two writers, each rereading the location: coherence constrains the \
+       combinations of observed values and final memory.";
+    program =
+      Wo_prog.Program.make ~name:"coherence"
+        [
+          [ I.Write (N.x, I.Const 1); I.Read (N.r0, N.x) ];
+          [ I.Write (N.x, I.Const 2); I.Read (N.r0, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [
+        ( "lost-own-write",
+          fun o ->
+            (* a processor missing both writes entirely *)
+            reg_is o 0 N.r0 0 || reg_is o 1 N.r0 0 );
+      ];
+  }
+
+let iriw =
+  {
+    name = "iriw";
+    description =
+      "Independent reads of independent writes: two readers observing the \
+       two writes in opposite orders would violate write atomicity \
+       (Collier's write synchronization).";
+    program =
+      Wo_prog.Program.make ~name:"iriw"
+        [
+          [ I.Write (N.x, I.Const 1) ];
+          [ I.Write (N.y, I.Const 1) ];
+          [ I.Read (N.r0, N.x); I.Read (N.r1, N.y) ];
+          [ I.Read (N.r0, N.y); I.Read (N.r1, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [
+        ( "opposite-orders",
+          fun o ->
+            reg_is o 2 N.r0 1 && reg_is o 2 N.r1 0 && reg_is o 3 N.r0 1
+            && reg_is o 3 N.r1 0 );
+      ];
+  }
+
+let atomicity =
+  {
+    name = "atomicity";
+    description =
+      "Two TestAndSets on one lock: read-modify-write atomicity forbids \
+       both observing 0.  DRF0 (all conflicting accesses synchronize).";
+    program =
+      Wo_prog.Program.make ~name:"atomicity"
+        [
+          [ I.Test_and_set (N.r0, N.s) ];
+          [ I.Test_and_set (N.r0, N.s) ];
+        ];
+    drf0 = true;
+    loops = false;
+    interesting =
+      [ ("both-acquired", fun o -> reg_is o 0 N.r0 0 && reg_is o 1 N.r0 0) ];
+  }
+
+let dekker_sync =
+  {
+    name = "dekker-sync";
+    description =
+      "Figure 1 with every access a synchronization operation — DRF0, so \
+       even weakly ordered machines must forbid the both-killed outcome.";
+    program =
+      Wo_prog.Program.make ~name:"dekker-sync"
+        [
+          [ I.Sync_write (N.x, I.Const 1); I.Sync_read (N.r0, N.y) ];
+          [ I.Sync_write (N.y, I.Const 1); I.Sync_read (N.r0, N.x) ];
+        ];
+    drf0 = true;
+    loops = false;
+    interesting = [ ("both-killed", both_killed) ];
+  }
+
+(* --- the classic litmus shapes beyond the paper's own ---------------------- *)
+
+let load_buffering =
+  {
+    name = "load-buffering";
+    description =
+      "Each processor reads one location then writes the other: both reads        returning the other's write requires speculating a read before an        older write completes.  None of the machines here do that (reads        block the processor), so this documents a property of the whole        zoo rather than a violation to hunt.";
+    program =
+      Wo_prog.Program.make ~name:"load-buffering"
+        [
+          [ I.Read (N.r0, N.x); I.Write (N.y, I.Const 1) ];
+          [ I.Read (N.r0, N.y); I.Write (N.x, I.Const 1) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [ ("both-one", fun o -> reg_is o 0 N.r0 1 && reg_is o 1 N.r0 1) ];
+  }
+
+let wrc =
+  {
+    name = "wrc";
+    description =
+      "Write-to-read causality: P1 observes P0's write and then writes a        flag; P2 observes the flag but not the original write — forbidden        under SC (and under write atomicity plus read ordering).";
+    program =
+      Wo_prog.Program.make ~name:"wrc"
+        [
+          [ I.Write (N.x, I.Const 1) ];
+          [ I.Read (N.r0, N.x); I.Write (N.y, I.Const 1) ];
+          [ I.Read (N.r1, N.y); I.Read (N.r2, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [
+        ( "causality-broken",
+          fun o ->
+            reg_is o 1 N.r0 1 && reg_is o 2 N.r1 1 && reg_is o 2 N.r2 0 );
+      ];
+  }
+
+let s_shape =
+  {
+    name = "s";
+    description =
+      "The S shape: a write overtaken by a later write from the reader's        processor — forbidden when writes reach memory in order.";
+    program =
+      Wo_prog.Program.make ~name:"s"
+        [
+          [ I.Write (N.x, I.Const 2); I.Write (N.y, I.Const 1) ];
+          [ I.Read (N.r0, N.y); I.Write (N.x, I.Const 1) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [
+        ( "overtaken",
+          fun o ->
+            reg_is o 1 N.r0 1
+            && Wo_prog.Outcome.memory_value o N.x = Some 2 );
+      ];
+  }
+
+let r_shape =
+  {
+    name = "r";
+    description =
+      "The R shape: write-write on one side against write-read on the        other; the forbidden outcome needs the first processor's writes to        be observed out of order.";
+    program =
+      Wo_prog.Program.make ~name:"r"
+        [
+          [ I.Write (N.x, I.Const 1); I.Write (N.y, I.Const 1) ];
+          [ I.Write (N.y, I.Const 2); I.Read (N.r0, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [
+        ( "out-of-order",
+          fun o ->
+            reg_is o 1 N.r0 0
+            && Wo_prog.Outcome.memory_value o N.y = Some 2 );
+      ];
+  }
+
+let two_plus_two_w =
+  {
+    name = "2+2w";
+    description =
+      "Two writes per processor to the two locations in opposite orders;        both locations ending at the FIRST writes requires both processors'        second writes to be overtaken.";
+    program =
+      Wo_prog.Program.make ~name:"2+2w"
+        [
+          [ I.Write (N.x, I.Const 1); I.Write (N.y, I.Const 2) ];
+          [ I.Write (N.y, I.Const 1); I.Write (N.x, I.Const 2) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [
+        ( "both-first",
+          fun o ->
+            Wo_prog.Outcome.memory_value o N.x = Some 1
+            && Wo_prog.Outcome.memory_value o N.y = Some 1 );
+      ];
+  }
+
+let corr =
+  {
+    name = "corr";
+    description =
+      "Coherence of read-read: a processor reading the new value and then        the old value of one location would violate the per-location total        order every machine here maintains.";
+    program =
+      Wo_prog.Program.make ~name:"corr"
+        [
+          [ I.Write (N.x, I.Const 1) ];
+          [ I.Read (N.r0, N.x); I.Read (N.r1, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting =
+      [ ("new-then-old", fun o -> reg_is o 1 N.r0 1 && reg_is o 1 N.r1 0) ];
+  }
+
+(* Prepend warm-up reads of every program location on every processor, so
+   the cached machines start with shared copies resident (the Figure-1
+   precondition).  Warm-up registers are 8 and onward; the outcome stays
+   restricted to the original program's registers. *)
+let warmed (t : t) =
+  let program = t.program in
+  let locs = Wo_prog.Program.locs program in
+  let warm =
+    List.mapi (fun i loc -> I.Read (8 + i, loc)) locs
+    @ Wo_prog.Snippets.local_work (4 * List.length locs + 8)
+  in
+  let observable =
+    match program.Wo_prog.Program.observable with
+    | Some l -> l
+    | None ->
+      Array.to_list program.Wo_prog.Program.threads
+      |> List.mapi (fun p instrs ->
+             List.map (fun r -> (p, r)) (I.regs instrs))
+      |> List.concat
+  in
+  let threads =
+    Array.to_list program.Wo_prog.Program.threads
+    |> List.map (fun instrs -> warm @ instrs)
+  in
+  {
+    t with
+    name = t.name ^ "-warmed";
+    program =
+      Wo_prog.Program.make
+        ~name:(program.Wo_prog.Program.name ^ "-warmed")
+        ~initial:program.Wo_prog.Program.initial ~observable threads;
+  }
+
+let sync_chain_scenario ?(observer_delay = 0) () =
+  {
+    name = "sync-chain";
+    description =
+      "Two synchronization writes in program order observed by \
+       synchronization reads in the opposite order: u = 1 without s = 1 \
+       is forbidden under SC.  DRF0; exposes machines that issue a \
+       synchronization operation before the previous one committed \
+       (condition 4 of Section 5.1).";
+    program =
+      Wo_prog.Program.make ~name:"sync-chain"
+        ~observable:[ (1, N.r0); (1, N.r1) ]
+        [
+          [ I.Sync_write (N.s, I.Const 1); I.Sync_write (N.u, I.Const 1) ];
+          Wo_prog.Snippets.local_work observer_delay
+          @ [ I.Sync_read (N.r0, N.u); I.Sync_read (N.r1, N.s) ];
+        ];
+    drf0 = true;
+    loops = false;
+    interesting =
+      [ ("u-before-s", fun o -> reg_is o 1 N.r0 1 && reg_is o 1 N.r1 0) ];
+  }
+
+let sync_chain = sync_chain_scenario ()
+
+let figure3_scenario ?(work_before_unset = 10) ?(work_after_unset = 40)
+    ?(consumer_delay = 10) () =
+  let warm_and_signal =
+    [ I.Read (N.r2, N.x); I.Fetch_and_add (N.r4, N.t, I.Const 1) ]
+  in
+  {
+    name = "figure3";
+    description =
+      "The Figure-3 analysis scenario: P0 writes x (slow to perform \
+       globally because P1 and P2 hold it shared), does other work, \
+       Unsets s, then does more work; P1 TestAndSets s and reads x; P2 \
+       only provides a remote shared copy.  DRF0.";
+    program =
+      Wo_prog.Program.make ~name:"figure3" ~initial:[ (N.s, 1) ]
+        ~observable:[ (1, N.r0) ]
+        [
+          (* P0: wait for both warmups, write x, work, Unset s, work. *)
+          [
+            I.Assign (N.r3, I.Const 0);
+            I.While (I.Lt (I.Reg N.r3, I.Const 2), [ I.Sync_read (N.r3, N.t) ]);
+            I.Write (N.x, I.Const 1);
+          ]
+          @ Wo_prog.Snippets.local_work work_before_unset
+          @ [ I.Sync_write (N.s, I.Const 0) ]
+          @ Wo_prog.Snippets.local_work work_after_unset;
+          (* P1: warm x, wait a little, acquire s, read x. *)
+          warm_and_signal
+          @ Wo_prog.Snippets.local_work consumer_delay
+          @ Wo_prog.Snippets.acquire_tas ~lock:N.s ~scratch:N.r1
+          @ [ I.Read (N.r0, N.x) ];
+          (* P2: just hold a remote shared copy of x. *)
+          warm_and_signal;
+        ];
+    drf0 = true;
+    loops = true;
+    interesting = [ ("stale-x", fun o -> reg_is o 1 N.r0 0) ];
+  }
+
+let all =
+  [
+    figure1;
+    figure1_warmed;
+    message_passing;
+    message_passing_sync;
+    coherence;
+    iriw;
+    atomicity;
+    dekker_sync;
+    sync_chain;
+    figure3_scenario ();
+    load_buffering;
+    wrc;
+    s_shape;
+    r_shape;
+    two_plus_two_w;
+    corr;
+  ]
+
+let find name = List.find_opt (fun t -> t.name = name) all

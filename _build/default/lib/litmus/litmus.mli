@@ -1,0 +1,104 @@
+(** Litmus tests.
+
+    A litmus test is a small program plus named outcome predicates worth
+    tallying (e.g. the "both processors killed" outcome of Figure 1).
+    Tests marked [drf0] obey Definition 3 — every weakly ordered machine
+    must appear sequentially consistent on them; the others have races and
+    weak machines may (and should, to demonstrate anything) leave the SC
+    outcome set. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Wo_prog.Program.t;
+  drf0 : bool;  (** the program obeys DRF0 (verified by the test suite) *)
+  loops : bool; (** contains spin loops: SC outcomes cannot be enumerated,
+                    use invariants and the Lemma-1 oracle instead *)
+  interesting : (string * (Wo_prog.Outcome.t -> bool)) list;
+}
+
+val figure1 : t
+(** The Figure-1 program with cold caches: [X = 1; if (Y == 0) kill] in
+    parallel with [Y = 1; if (X == 0) kill].  The "kill" is represented by
+    the final registers: both zero means both processes were killed. *)
+
+val figure1_warmed : t
+(** Figure 1 preceded by reads that bring both variables into both caches
+    in shared state — the situation the paper describes for the cached
+    configurations ("both processors initially have X and Y in their
+    caches"). *)
+
+val both_killed : Wo_prog.Outcome.t -> bool
+(** The sequentially-impossible outcome of Figure 1 (r0 = 0 on both). *)
+
+val message_passing : t
+(** Racy producer/consumer: data write then flag write, reads in the
+    opposite order. *)
+
+val message_passing_sync : t
+(** The DRF0 version: flag accesses are synchronization operations and the
+    consumer spins. *)
+
+val coherence : t
+(** Two writers to one location; coherence requires all processors to
+    agree on the write order. *)
+
+val iriw : t
+(** Independent reads of independent writes (4 processors): tests write
+    atomicity, which the idealized architecture and all machines here
+    provide. *)
+
+val atomicity : t
+(** Two TestAndSets on one lock: at most one can observe 0. *)
+
+val dekker_sync : t
+(** Figure 1 rewritten with synchronization operations for the stores and
+    Tests for the reads — DRF0 (the conflicting accesses are all
+    synchronization), so even weak machines must produce SC outcomes. *)
+
+val load_buffering : t
+(** Classic LB: both reads returning the other processor's later write —
+    impossible on every machine here (reads block), documented as a zoo
+    property. *)
+
+val wrc : t
+(** Write-to-read causality (3 processors). *)
+
+val s_shape : t
+(** The S shape. *)
+
+val r_shape : t
+(** The R shape. *)
+
+val two_plus_two_w : t
+(** 2+2W: both locations left at the first writes. *)
+
+val corr : t
+(** Coherence of read-read on one location. *)
+
+val warmed : t -> t
+(** Prepend warm-up reads of every location on every processor (shared
+    copies resident — the Figure-1 precondition for the cached machines);
+    the outcome stays restricted to the original registers. *)
+
+val sync_chain : t
+(** Two synchronization writes observed by synchronization reads in the
+    opposite order — DRF0; exposes hardware that issues a synchronization
+    operation before the previous one committed (condition 4 of 5.1). *)
+
+val sync_chain_scenario : ?observer_delay:int -> unit -> t
+(** {!sync_chain} with the observer delayed by local work — gives slowed
+    requests time to land, used by the ablation experiment. *)
+
+val figure3_scenario :
+  ?work_before_unset:int -> ?work_after_unset:int -> ?consumer_delay:int ->
+  unit -> t
+(** The Figure-3 analysis scenario: P2 warms x into its cache (making
+    P0's write of x slow to perform globally); P0 writes x, does other
+    work, Unsets s, then does more work; P1 TestAndSets s (spinning) and
+    then reads x.  DRF0.  Parameters control the "other work" amounts. *)
+
+val all : t list
+(** Every test above (with default parameters for the parameterized one). *)
+
+val find : string -> t option

@@ -1,0 +1,31 @@
+(** Random program generation for the Definition-2 compliance harness.
+
+    [lock_disciplined] programs access shared locations only inside
+    critical sections of per-location locks, so they obey DRF0 by
+    construction (the test suite cross-checks a sample with the dynamic
+    race detector); any weakly ordered machine must appear sequentially
+    consistent on them — verified with the Lemma-1 oracle since the spin
+    locks preclude outcome enumeration.
+
+    [racy] programs sprinkle unsynchronized reads and writes; they are the
+    negative control demonstrating that the software side of the contract
+    is load-bearing. *)
+
+val lock_disciplined :
+  seed:int ->
+  ?procs:int ->
+  ?sections_per_proc:int ->
+  ?ops_per_section:int ->
+  ?shared_locs:int ->
+  ?locks:int ->
+  unit ->
+  Wo_prog.Program.t
+
+val racy :
+  seed:int ->
+  ?procs:int ->
+  ?ops_per_proc:int ->
+  ?locs:int ->
+  unit ->
+  Wo_prog.Program.t
+(** Loop-free, so the SC outcome set is enumerable. *)

@@ -1,0 +1,105 @@
+type report = {
+  test : Litmus.t;
+  machine : string;
+  runs : int;
+  sc_outcomes : Wo_prog.Outcome.t list;
+  histogram : (Wo_prog.Outcome.t * int) list;
+  violations : (Wo_prog.Outcome.t * int) list;
+  lemma1_failures : int;
+  interesting_counts : (string * int) list;
+  total_cycles : int;
+  sc_coverage : int;
+}
+
+let histogram_of outcomes =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      let key = Format.asprintf "%a" Wo_prog.Outcome.pp o in
+      match Hashtbl.find_opt tbl key with
+      | Some (o, n) -> Hashtbl.replace tbl key (o, n + 1)
+      | None -> Hashtbl.replace tbl key (o, 1))
+    outcomes;
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let run ?(runs = 100) ?(base_seed = 1) ?check_lemma1 machine (test : Litmus.t) =
+  let check_lemma1 =
+    match check_lemma1 with Some b -> b | None -> test.Litmus.drf0
+  in
+  let sc_outcomes =
+    if test.Litmus.loops then []
+    else Wo_prog.Enumerate.outcomes test.Litmus.program
+  in
+  let observed = ref [] in
+  let lemma1_failures = ref 0 in
+  let total_cycles = ref 0 in
+  for seed = base_seed to base_seed + runs - 1 do
+    let r = Wo_machines.Machine.run machine ~seed test.Litmus.program in
+    observed := r.Wo_machines.Machine.outcome :: !observed;
+    total_cycles := !total_cycles + r.Wo_machines.Machine.cycles;
+    if check_lemma1 then
+      match
+        Wo_machines.Machine.check_lemma1
+          ~init:(Wo_prog.Program.initial_value test.Litmus.program)
+          r
+      with
+      | Ok () -> ()
+      | Error _ -> incr lemma1_failures
+  done;
+  let observed = List.rev !observed in
+  let histogram = histogram_of observed in
+  let violations =
+    if test.Litmus.loops then []
+    else
+      List.filter
+        (fun (o, _) ->
+          not
+            (List.exists
+               (fun sc -> Wo_prog.Outcome.compare sc o = 0)
+               sc_outcomes))
+        histogram
+  in
+  let interesting_counts =
+    List.map
+      (fun (name, pred) ->
+        (name, List.length (List.filter pred observed)))
+      test.Litmus.interesting
+  in
+  let sc_coverage =
+    let verdict =
+      Wo_core.Weak_ordering.appears_sc ~compare:Wo_prog.Outcome.compare
+        ~sc_outcomes ~observed
+    in
+    Wo_core.Weak_ordering.coverage ~compare:Wo_prog.Outcome.compare
+      ~sc_outcomes verdict
+  in
+  {
+    test;
+    machine = machine.Wo_machines.Machine.name;
+    runs;
+    sc_outcomes;
+    histogram;
+    violations;
+    lemma1_failures = !lemma1_failures;
+    interesting_counts;
+    total_cycles = !total_cycles;
+    sc_coverage;
+  }
+
+let appears_sc r = r.violations = [] && r.lemma1_failures = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s on %s: %d runs" r.test.Litmus.name r.machine
+    r.runs;
+  if not r.test.Litmus.loops then
+    Format.fprintf ppf
+      ", %d SC outcomes (%d covered), %d observed, %d outside SC"
+      (List.length r.sc_outcomes) r.sc_coverage (List.length r.histogram)
+      (List.length r.violations);
+  if r.lemma1_failures > 0 then
+    Format.fprintf ppf ", %d Lemma-1 failures" r.lemma1_failures;
+  List.iter
+    (fun (name, n) -> Format.fprintf ppf "@,  %-24s %d/%d" name n r.runs)
+    r.interesting_counts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,42 @@
+(** The litmus harness: run a test many times on a machine and compare the
+    observed outcomes against the sequentially consistent set.
+
+    For loop-free tests the SC set comes from exhaustive enumeration on
+    the idealized architecture, so [violations] is exact (Definition 2
+    falsification).  For tests with spin loops the SC set cannot be
+    enumerated; the harness instead applies the Lemma-1 oracle to each
+    trace when the test is DRF0, and only tallies the test's named
+    predicates otherwise. *)
+
+type report = {
+  test : Litmus.t;
+  machine : string;
+  runs : int;
+  sc_outcomes : Wo_prog.Outcome.t list;
+      (** empty when the test has loops *)
+  histogram : (Wo_prog.Outcome.t * int) list;
+      (** distinct observed outcomes with multiplicity, most frequent
+          first *)
+  violations : (Wo_prog.Outcome.t * int) list;
+      (** observed outcomes outside the SC set (loop-free tests only) *)
+  lemma1_failures : int;
+      (** traces failing the Lemma-1 condition (DRF0 tests only) *)
+  interesting_counts : (string * int) list;
+  total_cycles : int;
+  sc_coverage : int;
+      (** how many distinct SC outcomes were actually observed — a machine
+          that always executes one interleaving appears SC trivially, so
+          coverage qualifies the verdict (0 when the test has loops) *)
+}
+
+val run :
+  ?runs:int -> ?base_seed:int -> ?check_lemma1:bool ->
+  Wo_machines.Machine.t -> Litmus.t -> report
+(** [runs] defaults to 100, seeds are [base_seed..base_seed+runs-1]
+    (default 1).  [check_lemma1] (default: the test's [drf0] flag) applies
+    the Lemma-1 oracle to every trace. *)
+
+val appears_sc : report -> bool
+(** No violations and no Lemma-1 failures. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/machines/coherent.ml: Array List Machine Option Printf Proc_frontend String Wo_cache Wo_core Wo_interconnect Wo_prog Wo_sim

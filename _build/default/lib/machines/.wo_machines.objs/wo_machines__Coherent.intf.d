@@ -1,0 +1,1 @@
+lib/machines/coherent.mli: Machine Wo_cache

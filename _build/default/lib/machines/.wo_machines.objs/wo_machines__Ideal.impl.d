@@ -1,0 +1,1 @@
+lib/machines/ideal.ml: Array List Machine Wo_core Wo_prog Wo_sim

@@ -1,0 +1,1 @@
+lib/machines/machine.ml: List Printf String Wo_core Wo_prog Wo_sim

@@ -1,0 +1,1 @@
+lib/machines/machine.mli: Stdlib Wo_core Wo_prog Wo_sim

@@ -1,0 +1,1 @@
+lib/machines/presets.ml: Coherent Ideal List Machine String Uncached Wo_cache

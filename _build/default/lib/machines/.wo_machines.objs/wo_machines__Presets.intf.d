@@ -1,0 +1,1 @@
+lib/machines/presets.mli: Coherent Machine

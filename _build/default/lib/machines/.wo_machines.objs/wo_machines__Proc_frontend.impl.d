@@ -1,0 +1,1 @@
+lib/machines/proc_frontend.ml: Format Int List Map Wo_core Wo_prog Wo_sim

@@ -1,0 +1,1 @@
+lib/machines/proc_frontend.mli: Wo_core Wo_prog Wo_sim

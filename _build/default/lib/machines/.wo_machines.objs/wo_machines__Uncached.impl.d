@@ -1,0 +1,1 @@
+lib/machines/uncached.ml: Array Coherent Hashtbl List Machine Option Printf Proc_frontend Queue Wo_cache Wo_core Wo_interconnect Wo_prog Wo_sim

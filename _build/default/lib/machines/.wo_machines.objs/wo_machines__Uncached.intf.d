@@ -1,0 +1,1 @@
+lib/machines/uncached.mli: Coherent Machine

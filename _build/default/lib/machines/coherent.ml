@@ -1,0 +1,451 @@
+module Cache_ctrl = Wo_cache.Cache_ctrl
+
+type gate = Gate_every_op | Gate_sync_only | Gate_never
+
+type sync_wait = Sync_wait_gp | Sync_wait_commit | Sync_wait_none
+
+type policy = {
+  pname : string;
+  sync_as_data : bool;
+  gate : gate;
+  sync_wait : sync_wait;
+}
+
+let sc_policy =
+  {
+    pname = "sc";
+    sync_as_data = false;
+    gate = Gate_every_op;
+    sync_wait = Sync_wait_commit;
+  }
+
+let def1_policy =
+  {
+    pname = "def1";
+    sync_as_data = false;
+    gate = Gate_sync_only;
+    sync_wait = Sync_wait_gp;
+  }
+
+let def2_policy =
+  {
+    pname = "def2";
+    sync_as_data = false;
+    gate = Gate_never;
+    sync_wait = Sync_wait_commit;
+  }
+
+let relaxed_policy =
+  {
+    pname = "relaxed";
+    sync_as_data = true;
+    gate = Gate_never;
+    sync_wait = Sync_wait_commit;
+  }
+
+type fabric_kind =
+  | Bus of { transfer_cycles : int }
+  | Net of { base : int; jitter : int }
+  | Net_spiky of {
+      base : int;
+      jitter : int;
+      spike_probability : float;
+      spike_factor : int;
+    }
+
+type migration = {
+  thread : int;        (* which thread moves *)
+  before_seq : int;    (* just before its operation with this program-order
+                          position *)
+  to_cache : int;      (* destination processor/cache *)
+  unsafe : bool;       (* skip the Section-5.1 re-scheduling rule (for the
+                          ablation experiments) *)
+}
+
+type config = {
+  fabric : fabric_kind;
+  policy : policy;
+  cache : Cache_ctrl.config;
+  slow_procs : (int * int) list;
+  slow_routes : ((int * int) * int) list;
+  local_cost : int;
+  migrations : migration list;
+}
+
+let default_net = Net { base = 4; jitter = 6 }
+
+(* One dynamic memory operation's lifecycle record. *)
+type op_rec = {
+  id : int;
+  oproc : int;
+  oseq : int;
+  okind : Wo_core.Event.kind;
+  oloc : Wo_core.Event.loc;
+  mutable rv : Wo_core.Event.value option;
+  mutable wv : Wo_core.Event.value option;
+  mutable issued : int;
+  mutable committed : int;
+  mutable performed : int;
+}
+
+type proc_ctx = {
+  mutable fe : Proc_frontend.t option;  (* set after creation (cyclic) *)
+  mutable cache_id : int;
+      (* which processor's cache this thread currently runs on; changes
+         only through migration *)
+  mutable gp_outstanding : int;
+  mutable gp_zero_waiters : (unit -> unit) list;
+  mutable finish_time : int;
+}
+
+let frontend ctx = Option.get ctx.fe
+
+let is_sync_kind = function
+  | Wo_core.Event.Sync_read | Wo_core.Event.Sync_write | Wo_core.Event.Sync_rmw ->
+    true
+  | Wo_core.Event.Data_read | Wo_core.Event.Data_write -> false
+
+let access_kind (policy : policy) (op : Proc_frontend.memory_op) :
+    Cache_ctrl.access_kind =
+  match (op.Proc_frontend.kind, op.Proc_frontend.payload) with
+  | Wo_core.Event.Data_read, `Read -> `Data_read
+  | Wo_core.Event.Sync_read, `Read ->
+    if policy.sync_as_data then `Data_read else `Sync_read
+  | Wo_core.Event.Data_write, `Write v -> `Data_write v
+  | Wo_core.Event.Sync_write, `Write v ->
+    if policy.sync_as_data then `Data_write v else `Sync_write v
+  | Wo_core.Event.Sync_rmw, `Rmw f -> `Sync_rmw f
+  | _ -> invalid_arg "Coherent.access_kind: malformed memory operation"
+
+let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
+    (config : config) : Machine.t =
+  let run ~seed (program : Wo_prog.Program.t) : Machine.result =
+    let engine = Wo_sim.Engine.create () in
+    let stats = Wo_sim.Stats.create () in
+    let rng = Wo_sim.Rng.make seed in
+    let num_procs = Wo_prog.Program.num_procs program in
+    let num_caches =
+      List.fold_left
+        (fun m (mg : migration) -> max m (mg.to_cache + 1))
+        num_procs config.migrations
+    in
+    let dir_node = num_caches in
+    let fabric =
+      match config.fabric with
+      | Bus { transfer_cycles } ->
+        Wo_interconnect.Fabric.of_bus
+          (Wo_interconnect.Bus.create ~engine ~stats ~transfer_cycles ())
+      | Net { base; jitter } ->
+        let net_rng = Wo_sim.Rng.split rng in
+        let latency =
+          Wo_interconnect.Latency.scale_routes config.slow_routes
+            (Wo_interconnect.Latency.scale_nodes config.slow_procs
+               (Wo_interconnect.Latency.jittered net_rng ~base ~jitter))
+        in
+        Wo_interconnect.Fabric.of_network
+          (Wo_interconnect.Network.create ~engine ~stats ~latency ())
+      | Net_spiky { base; jitter; spike_probability; spike_factor } ->
+        let net_rng = Wo_sim.Rng.split rng in
+        let latency =
+          Wo_interconnect.Latency.scale_routes config.slow_routes
+            (Wo_interconnect.Latency.scale_nodes config.slow_procs
+               (Wo_interconnect.Latency.spiky net_rng ~base ~jitter
+                  ~spike_probability ~spike_factor))
+        in
+        Wo_interconnect.Fabric.of_network
+          (Wo_interconnect.Network.create ~engine ~stats ~latency ())
+    in
+    let directory =
+      Wo_cache.Directory.create ~engine ~fabric ~node:dir_node ~stats
+        ~initial:(Wo_prog.Program.initial_value program)
+        ()
+    in
+    let caches =
+      Array.init num_caches (fun p ->
+          Cache_ctrl.create ~engine ~fabric ~node:p ~dir_node ~stats
+            config.cache)
+    in
+    let ctxs =
+      Array.init num_procs (fun p ->
+          {
+            fe = None;
+            cache_id = p;
+            gp_outstanding = 0;
+            gp_zero_waiters = [];
+            finish_time = -1;
+          })
+    in
+    let cache_of ctx = caches.(ctx.cache_id) in
+    let next_op_id = ref 0 in
+    let ops_rev = ref [] in
+    let stall ctx_proc reason cycles =
+      if cycles > 0 then begin
+        Wo_sim.Stats.add stats (Printf.sprintf "P%d.stall.%s" ctx_proc reason) cycles;
+        Wo_sim.Stats.add stats "stall.total" cycles
+      end
+    in
+    let on_gp_zero ctx k =
+      if ctx.gp_outstanding = 0 then k ()
+      else ctx.gp_zero_waiters <- k :: ctx.gp_zero_waiters
+    in
+    let decr_gp ctx =
+      ctx.gp_outstanding <- ctx.gp_outstanding - 1;
+      assert (ctx.gp_outstanding >= 0);
+      if ctx.gp_outstanding = 0 then begin
+        let ws = ctx.gp_zero_waiters in
+        ctx.gp_zero_waiters <- [];
+        List.iter (fun k -> k ()) ws
+      end
+    in
+    let perform_fence p =
+      (* proceed only when everything previously issued is globally
+         performed *)
+      let ctx = ctxs.(p) in
+      let t0 = Wo_sim.Engine.now engine in
+      on_gp_zero ctx (fun () ->
+          stall p "fence" (Wo_sim.Engine.now engine - t0);
+          Proc_frontend.resume (frontend ctx) ~store:None ~delay:1)
+    in
+    let perform p (op : Proc_frontend.memory_op) =
+      let ctx = ctxs.(p) in
+      let sync = is_sync_kind op.Proc_frontend.kind in
+      let issue () =
+        let id = !next_op_id in
+        incr next_op_id;
+        let r =
+          {
+            id;
+            oproc = p;
+            oseq = op.Proc_frontend.seq;
+            okind = op.Proc_frontend.kind;
+            oloc = op.Proc_frontend.loc;
+            rv = None;
+            wv =
+              (match op.Proc_frontend.payload with
+              | `Write v -> Some v
+              | `Read | `Rmw _ -> None);
+            issued = Wo_sim.Engine.now engine;
+            committed = -1;
+            performed = -1;
+          }
+        in
+        ops_rev := r :: !ops_rev;
+        ctx.gp_outstanding <- ctx.gp_outstanding + 1;
+        (* Decide when the processor proceeds past this operation. *)
+        let resume_on =
+          if sync && not config.policy.sync_as_data then
+            match config.policy.sync_wait with
+            | Sync_wait_gp -> `Gp
+            | Sync_wait_commit -> `Commit
+            | Sync_wait_none -> (
+              (* Even lawless hardware must wait for a value it needs. *)
+              match op.Proc_frontend.payload with
+              | `Read | `Rmw _ -> `Commit
+              | `Write _ -> `Issue)
+          else
+            match op.Proc_frontend.payload with
+            | `Read | `Rmw _ -> `Commit (* a value is needed *)
+            | `Write _ -> `Issue
+        in
+        let resume_store () =
+          match (op.Proc_frontend.dest, r.rv) with
+          | Some reg, Some v -> Some (reg, v)
+          | _ -> None
+        in
+        let on_commit ~at value =
+          r.committed <- at;
+          r.rv <- value;
+          (match (op.Proc_frontend.payload, value) with
+          | `Rmw f, Some old -> r.wv <- Some (f old)
+          | _ -> ());
+          match resume_on with
+          | `Commit ->
+            let reason = if sync then "sync" else "read" in
+            stall p reason (Wo_sim.Engine.now engine - r.issued);
+            Proc_frontend.resume (frontend ctx) ~store:(resume_store ()) ~delay:1
+          | `Gp | `Issue -> ()
+        in
+        let on_gp () =
+          r.performed <- Wo_sim.Engine.now engine;
+          decr_gp ctx;
+          match resume_on with
+          | `Gp ->
+            stall p "sync" (r.performed - r.issued);
+            Proc_frontend.resume (frontend ctx) ~store:(resume_store ()) ~delay:1
+          | `Commit | `Issue -> ()
+        in
+        Cache_ctrl.access (cache_of ctx) op.Proc_frontend.loc
+          (access_kind config.policy op)
+          { Cache_ctrl.on_commit; on_gp };
+        if resume_on = `Issue then
+          Proc_frontend.resume (frontend ctx) ~store:None ~delay:1
+      in
+      let gated =
+        match config.policy.gate with
+        | Gate_every_op -> true
+        | Gate_sync_only -> sync && not config.policy.sync_as_data
+        | Gate_never -> false
+      in
+      let issue_gated () =
+        if gated && ctx.gp_outstanding > 0 then begin
+          let t0 = Wo_sim.Engine.now engine in
+          on_gp_zero ctx (fun () ->
+              stall p "gate" (Wo_sim.Engine.now engine - t0);
+              issue ())
+        end
+        else issue ()
+      in
+      match
+        List.find_opt
+          (fun (mg : migration) ->
+            mg.thread = p && mg.before_seq = op.Proc_frontend.seq)
+          config.migrations
+      with
+      | None -> issue_gated ()
+      | Some mg ->
+        (* Re-scheduling (5.1): "before a context switch, all previous
+           reads of the process have returned their values and all
+           previous writes have been globally performed"; footnote 3 also
+           stalls the vacated processor until its counter reads zero. *)
+        let switch () =
+          Wo_sim.Stats.incr stats "machine.migrations";
+          ctx.cache_id <- mg.to_cache;
+          issue_gated ()
+        in
+        if mg.unsafe then switch ()
+        else begin
+          let t0 = Wo_sim.Engine.now engine in
+          on_gp_zero ctx (fun () ->
+              Cache_ctrl.on_counter_zero (cache_of ctx) (fun () ->
+                  stall p "migration" (Wo_sim.Engine.now engine - t0);
+                  switch ()))
+        end
+    in
+    Array.iteri
+      (fun p ctx ->
+        let fe =
+          Proc_frontend.create ~engine ~proc:p
+            ~code:program.Wo_prog.Program.threads.(p)
+            ~local_cost:config.local_cost
+            ~perform:(function
+              | Proc_frontend.Access op -> perform p op
+              | Proc_frontend.Fence -> perform_fence p)
+            ~on_finish:(fun () ->
+              ctx.finish_time <- Wo_sim.Engine.now engine)
+            ()
+        in
+        ctx.fe <- Some fe;
+        Proc_frontend.start fe)
+      ctxs;
+    (match Wo_sim.Engine.run engine with
+    | `Idle -> ()
+    | `Time_limit | `Event_limit ->
+      let positions =
+        Array.to_list ctxs
+        |> List.mapi (fun p ctx ->
+               Printf.sprintf "P%d[%s out=%d res=%s stalled=%s]" p
+                 (Proc_frontend.current_position (frontend ctx))
+                 (Cache_ctrl.outstanding caches.(ctx.cache_id))
+                 (String.concat ","
+                    (List.map string_of_int
+                       (Cache_ctrl.reserved_locs caches.(ctx.cache_id))))
+                 (String.concat ","
+                    (List.map
+                       (fun (l, n) -> Printf.sprintf "%d:%d" l n)
+                       (Cache_ctrl.stalled_recall_locs caches.(ctx.cache_id)))))
+        |> String.concat " "
+      in
+      let dir_busy =
+        Wo_cache.Directory.busy_lines directory
+        |> List.map string_of_int |> String.concat ","
+      in
+      raise
+        (Machine.Machine_error
+           (Printf.sprintf
+              "%s: simulation event limit exceeded (livelock?) at t=%d: %s dir_busy=[%s]"
+              name (Wo_sim.Engine.now engine) positions dir_busy)));
+    (* Drain check: everything must have finished. *)
+    Array.iteri
+      (fun p ctx ->
+        if not (Proc_frontend.finished (frontend ctx)) then begin
+          let dumps =
+            String.concat ""
+              (Array.to_list (Array.map Cache_ctrl.debug_dump caches))
+          in
+          raise
+            (Machine.Machine_error
+               (Printf.sprintf "%s: deadlock: P%d %s\n%s%s" name p
+                  (Proc_frontend.current_position (frontend ctx))
+                  dumps
+                  (Wo_cache.Directory.debug_dump directory)))
+        end;
+        ())
+      ctxs;
+    Array.iteri
+      (fun c cache ->
+        if Cache_ctrl.pending_accesses cache <> 0 then
+          raise
+            (Machine.Machine_error
+               (Printf.sprintf "%s: cache %d has uncommitted accesses" name c)))
+      caches;
+    (match Wo_cache.Directory.busy_lines directory with
+    | [] -> ()
+    | locs ->
+      raise
+        (Machine.Machine_error
+           (Printf.sprintf "%s: directory transactions stuck on %d line(s)"
+              name (List.length locs))));
+    (* Coherent final memory: the owner's copy for exclusive lines, the
+       directory's otherwise. *)
+    let final_value loc =
+      match Wo_cache.Directory.state_of directory loc with
+      | Wo_cache.Directory.Exclusive owner -> (
+        match Cache_ctrl.value_of caches.(owner) loc with
+        | Some v -> v
+        | None -> Wo_cache.Directory.memory_value directory loc)
+      | Wo_cache.Directory.Uncached | Wo_cache.Directory.Shared _ ->
+        Wo_cache.Directory.memory_value directory loc
+    in
+    let memory =
+      List.map (fun loc -> (loc, final_value loc)) (Wo_prog.Program.locs program)
+    in
+    let observable p r =
+      match program.Wo_prog.Program.observable with
+      | None -> true
+      | Some l -> List.mem (p, r) l
+    in
+    let registers =
+      Array.to_list ctxs
+      |> List.concat_map (fun ctx ->
+             let p = Proc_frontend.proc (frontend ctx) in
+             Proc_frontend.registers (frontend ctx)
+             |> List.filter (fun (r, _) -> observable p r)
+             |> List.map (fun (r, v) -> (p, r, v)))
+    in
+    let trace = Wo_sim.Trace.create () in
+    List.iter
+      (fun r ->
+        if r.committed < 0 || r.performed < 0 then
+          raise
+            (Machine.Machine_error
+               (Printf.sprintf "%s: operation %d never completed" name r.id));
+        Wo_sim.Trace.add trace
+          {
+            Wo_sim.Trace.event =
+              Wo_core.Event.make ~id:r.id ~proc:r.oproc ~seq:r.oseq
+                ~kind:r.okind ~loc:r.oloc ?read_value:r.rv
+                ?written_value:r.wv ();
+            issued = r.issued;
+            committed = r.committed;
+            performed = r.performed;
+          })
+      (List.rev !ops_rev);
+    {
+      Machine.outcome = Wo_prog.Outcome.make ~registers ~memory;
+      trace;
+      cycles = Wo_sim.Engine.now engine;
+      proc_finish = Array.map (fun ctx -> ctx.finish_time) ctxs;
+      stats = Wo_sim.Stats.to_list stats;
+    }
+  in
+  { Machine.name; description; sequentially_consistent; weakly_ordered_drf0; run }

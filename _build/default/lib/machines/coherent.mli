@@ -1,0 +1,104 @@
+(** Cache-coherent machines (Sections 5.2–5.3).
+
+    One parameterized system: processors with private caches, a full-map
+    directory, and a bus or general network.  The ordering {!policy}
+    selects which machine of the paper it is:
+
+    - {!sc_policy} — the Scheurich–Dubois sufficient condition for
+      sequential consistency: a processor issues an access only when all
+      its previous accesses are globally performed;
+    - {!def1_policy} — Definition-1 (Dubois/Scheurich/Briggs) weak
+      ordering: data accesses pipeline freely, but a synchronization
+      operation is issued only after all previous accesses are globally
+      performed, and no access issues until a previous synchronization
+      operation is globally performed;
+    - {!def2_policy} — the paper's Section-5.3 implementation: a processor
+      only waits for its synchronization operation to {e commit}; the
+      outstanding-access counter and reserve bits (in {!Wo_cache.Cache_ctrl})
+      make the {e next} synchronizing processor stall instead;
+    - {!relaxed_policy} — no ordering discipline at all (synchronization
+      treated as data, read-modify-writes still atomic): the Figure-1
+      cached configurations.
+
+    Combined with {!Wo_cache.Cache_ctrl.config.sync_read_shared},
+    {!def2_policy} yields the Section-6 refined machine in which read-only
+    synchronization is not serialized. *)
+
+type gate = Gate_every_op | Gate_sync_only | Gate_never
+
+type sync_wait =
+  | Sync_wait_gp
+  | Sync_wait_commit
+  | Sync_wait_none
+      (** proceed immediately after issuing a write-only synchronization
+          operation, without waiting for it to commit — breaks condition 4
+          of Section 5.1; used by the ablation experiments.  Operations
+          with a read component still wait for their value. *)
+
+type policy = {
+  pname : string;
+  sync_as_data : bool;
+      (** map synchronization reads/writes to plain data accesses
+          (read-modify-writes stay atomic) *)
+  gate : gate;
+      (** which operations wait for {e all} previous operations to be
+          globally performed before issuing *)
+  sync_wait : sync_wait;
+      (** what the processor waits for after issuing a synchronization
+          operation before executing anything further *)
+}
+
+val sc_policy : policy
+val def1_policy : policy
+val def2_policy : policy
+val relaxed_policy : policy
+
+type fabric_kind =
+  | Bus of { transfer_cycles : int }
+  | Net of { base : int; jitter : int }
+  | Net_spiky of {
+      base : int;
+      jitter : int;
+      spike_probability : float;
+      spike_factor : int;
+    }
+      (** heavy-tailed network: each message independently suffers a
+          congestion spike multiplying its delay *)
+
+type migration = {
+  thread : int;      (** which thread moves *)
+  before_seq : int;  (** just before its [before_seq]-th memory operation *)
+  to_cache : int;    (** destination processor (a spare cache is created if
+                         beyond the program's processor count) *)
+  unsafe : bool;
+      (** skip the Section-5.1 re-scheduling rule — "before a context
+          switch, all previous reads of the process have returned their
+          values and all previous writes have been globally performed" —
+          for the ablation experiments *)
+}
+(** Process migration (the re-scheduling discussion of Section 5.1 and
+    footnote 3). *)
+
+type config = {
+  fabric : fabric_kind;
+  policy : policy;
+  cache : Wo_cache.Cache_ctrl.config;
+  slow_procs : (int * int) list;
+      (** latency multipliers per processor node (Figure-3 scenario) *)
+  slow_routes : ((int * int) * int) list;
+      (** latency multipliers per directed (src, dst) route (asymmetric
+          congestion; used by the ablation experiment) *)
+  local_cost : int;  (** cycles per local instruction *)
+  migrations : migration list;
+}
+
+val default_net : fabric_kind
+(** [Net { base = 4; jitter = 6 }]. *)
+
+val make :
+  name:string ->
+  description:string ->
+  sequentially_consistent:bool ->
+  weakly_ordered_drf0:bool ->
+  config ->
+  Machine.t

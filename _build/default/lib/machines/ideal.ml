@@ -1,0 +1,28 @@
+let run ~seed program =
+  let state = Wo_prog.Interp.run_random ~seed program in
+  let exn = Wo_prog.Interp.execution state in
+  let trace = Wo_sim.Trace.create () in
+  List.iteri
+    (fun i ev ->
+      Wo_sim.Trace.add trace
+        { Wo_sim.Trace.event = ev; issued = i; committed = i; performed = i })
+    (Wo_core.Execution.events exn);
+  let n = Wo_prog.Program.num_procs program in
+  {
+    Machine.outcome = Wo_prog.Interp.outcome state;
+    trace;
+    cycles = Wo_sim.Trace.size trace;
+    proc_finish = Array.make n (Wo_sim.Trace.size trace);
+    stats = [];
+  }
+
+let machine =
+  {
+    Machine.name = "ideal";
+    description =
+      "The idealized architecture of Section 4: all memory accesses execute \
+       atomically and in program order, under a seeded random scheduler.";
+    sequentially_consistent = true;
+    weakly_ordered_drf0 = true;
+    run;
+  }

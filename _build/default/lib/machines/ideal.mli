@@ -1,0 +1,8 @@
+(** The idealized architecture as a machine.
+
+    Wraps {!Wo_prog.Interp} (atomic memory, program order, randomized
+    scheduling) behind the common {!Machine.t} interface so the harnesses
+    can treat it uniformly.  Sequentially consistent by construction; the
+    trace's commit order is the execution order. *)
+
+val machine : Machine.t

@@ -1,0 +1,51 @@
+exception Machine_error of string
+
+type result = {
+  outcome : Wo_prog.Outcome.t;
+  trace : Wo_sim.Trace.t;
+  cycles : int;
+  proc_finish : int array;
+  stats : (string * int) list;
+}
+
+type t = {
+  name : string;
+  description : string;
+  sequentially_consistent : bool;
+  weakly_ordered_drf0 : bool;
+  run : seed:int -> Wo_prog.Program.t -> result;
+}
+
+let run t ?(seed = 0) program = t.run ~seed program
+
+let check_lemma1 ?init r =
+  Wo_core.Lemma1.check ?init
+    ~events:(Wo_sim.Trace.events r.trace)
+    ~po:(Wo_sim.Trace.program_order r.trace)
+    ~so:(Wo_sim.Trace.sync_commit_order r.trace)
+    ()
+
+let stall r ~proc reason =
+  let key = Printf.sprintf "P%d.stall.%s" proc reason in
+  match List.assoc_opt key r.stats with Some v -> v | None -> 0
+
+let is_stall_key key =
+  match String.index_opt key '.' with
+  | None -> false
+  | Some i ->
+    String.length key > i + 6 && String.sub key (i + 1) 6 = "stall."
+    || String.length key >= 6 && String.sub key 0 6 = "stall."
+
+let total_stalls r =
+  List.fold_left
+    (fun acc (k, v) -> if is_stall_key k then acc + v else acc)
+    0 r.stats
+
+let proc_stalls r ~proc =
+  let prefix = Printf.sprintf "P%d.stall." proc in
+  let plen = String.length prefix in
+  List.fold_left
+    (fun acc (k, v) ->
+      if String.length k >= plen && String.sub k 0 plen = prefix then acc + v
+      else acc)
+    0 r.stats

@@ -1,0 +1,55 @@
+(** The common machine interface.
+
+    Every simulated system — the four Figure-1 configurations, the
+    sequentially consistent baseline, Definition-1 hardware and the
+    paper's Section-5.3 implementation — runs a {!Wo_prog.Program} to
+    completion and produces the same shape of result, so the litmus
+    harness, the Definition-2 compliance tests and the benchmarks are
+    machine-agnostic. *)
+
+exception Machine_error of string
+(** Deadlock or protocol failure; carries diagnostics. *)
+
+type result = {
+  outcome : Wo_prog.Outcome.t;
+  trace : Wo_sim.Trace.t;
+  cycles : int;
+      (** engine time when all activity (including trailing
+          acknowledgements) drained *)
+  proc_finish : int array;
+      (** per-processor time of executing its last instruction *)
+  stats : (string * int) list;
+}
+
+type t = {
+  name : string;
+  description : string;
+  sequentially_consistent : bool;
+      (** whether this machine is expected to appear SC to {e all}
+          programs (used by tests as the expectation, never by the
+          machines themselves) *)
+  weakly_ordered_drf0 : bool;
+      (** whether this machine is expected to appear SC to DRF0 programs *)
+  run : seed:int -> Wo_prog.Program.t -> result;
+}
+
+val run : t -> ?seed:int -> Wo_prog.Program.t -> result
+(** [seed] defaults to 0. *)
+
+val check_lemma1 :
+  ?init:(Wo_core.Event.loc -> Wo_core.Event.value) ->
+  result ->
+  (unit, Wo_core.Lemma1.violation list) Stdlib.result
+(** Check the Lemma-1 condition against the trace: happens-before from
+    program order plus synchronization-commit order, every read returning
+    its hb-last write.  Meaningful for DRF0 programs on machines claiming
+    weak ordering. *)
+
+val total_stalls : result -> int
+(** Sum of all [stall.*] statistics. *)
+
+val stall : result -> proc:int -> string -> int
+(** [stall r ~proc reason] reads the [P<proc>.stall.<reason>] counter. *)
+
+val proc_stalls : result -> proc:int -> int
+(** All stall cycles attributed to one processor. *)

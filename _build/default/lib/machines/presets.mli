@@ -1,0 +1,57 @@
+(** The machine zoo.
+
+    Every system the paper discusses, ready to run:
+
+    {ul
+    {- Figure-1 configurations (each with the performance feature that
+       breaks sequential consistency): {!bus_nocache_wb},
+       {!net_nocache_weak}, {!bus_cache_wb}, {!net_cache_relaxed};}
+    {- sequentially consistent baselines: {!sc_bus_nocache},
+       {!net_nocache_rp3} (RP3-style per-access acknowledgements),
+       {!sc_dir} (Scheurich–Dubois condition on the directory system);}
+    {- weakly ordered machines: {!rp3_fence} (the RP3 fence option the
+       paper cites as functioning as a weakly ordered system),
+       {!wo_old} (Definition-1 hardware), {!wo_new} (the Section-5.3
+       implementation), {!wo_new_drf1} (Section-6 refinement).}}
+
+    The [*_config] values are exposed so experiments can vary parameters
+    (e.g. Figure 3's slow invalidations) and rebuild a machine with
+    {!Coherent.make}. *)
+
+val sc_bus_nocache : Machine.t
+val bus_nocache_wb : Machine.t
+val net_nocache_weak : Machine.t
+val net_nocache_rp3 : Machine.t
+val rp3_fence : Machine.t
+val sc_dir : Machine.t
+val bus_cache_wb : Machine.t
+val net_cache_relaxed : Machine.t
+val wo_old : Machine.t
+val wo_new : Machine.t
+val wo_new_drf1 : Machine.t
+val ideal : Machine.t
+
+val sc_dir_config : Coherent.config
+val bus_cache_config : Coherent.config
+val net_cache_config : Coherent.config
+val wo_old_config : Coherent.config
+val wo_new_config : Coherent.config
+val wo_new_drf1_config : Coherent.config
+
+val wo_new_ablated :
+  ?disable_reserve:bool -> ?disable_sync_commit_wait:bool -> unit -> Machine.t
+(** The Section-5.3 machine with individual mechanisms removed, for the
+    ablation experiment (E7): [disable_reserve] removes the reserve-bit
+    stall (condition 5), [disable_sync_commit_wait] lets the processor run
+    past an uncommitted synchronization operation (condition 4). *)
+
+val all : Machine.t list
+(** Every preset, idealized machine first. *)
+
+val weakly_ordered : Machine.t list
+(** The machines expected to appear SC to DRF0 programs. *)
+
+val sequentially_consistent : Machine.t list
+
+val find : string -> Machine.t option
+(** Look up a preset by [Machine.name]. *)

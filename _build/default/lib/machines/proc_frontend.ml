@@ -1,0 +1,162 @@
+module Instr = Wo_prog.Instr
+module Int_map = Map.Make (Int)
+
+type memory_op = {
+  kind : Wo_core.Event.kind;
+  loc : Wo_core.Event.loc;
+  payload :
+    [ `Read
+    | `Write of Wo_core.Event.value
+    | `Rmw of Wo_core.Event.value -> Wo_core.Event.value ];
+  dest : Instr.reg option;
+  seq : int;
+}
+
+type request = Access of memory_op | Fence
+
+type status = Running | Blocked | Done
+
+type t = {
+  engine : Wo_sim.Engine.t;
+  proc : Wo_core.Event.proc;
+  local_cost : int;
+  perform : request -> unit;
+  on_finish : unit -> unit;
+  all_regs : Instr.reg list;
+  mutable env : Wo_core.Event.value Int_map.t;
+  mutable code : Instr.t list;
+  mutable status : status;
+  mutable seq : int;
+}
+
+let lookup t r = match Int_map.find_opt r t.env with Some v -> v | None -> 0
+
+let create ~engine ~proc ~code ?(local_cost = 1) ~perform ~on_finish () =
+  {
+    engine;
+    proc;
+    local_cost = max 1 local_cost;
+    perform;
+    on_finish;
+    all_regs = Instr.regs code;
+    env = Int_map.empty;
+    code;
+    status = Blocked;
+    seq = 0;
+  }
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let memory_op_of_instr t instr =
+  let env r = lookup t r in
+  match instr with
+  | Instr.Read (r, loc) ->
+    Some { kind = Wo_core.Event.Data_read; loc; payload = `Read; dest = Some r; seq = 0 }
+  | Instr.Sync_read (r, loc) ->
+    Some { kind = Wo_core.Event.Sync_read; loc; payload = `Read; dest = Some r; seq = 0 }
+  | Instr.Write (loc, e) ->
+    Some
+      {
+        kind = Wo_core.Event.Data_write;
+        loc;
+        payload = `Write (Instr.eval_expr env e);
+        dest = None;
+        seq = 0;
+      }
+  | Instr.Sync_write (loc, e) ->
+    Some
+      {
+        kind = Wo_core.Event.Sync_write;
+        loc;
+        payload = `Write (Instr.eval_expr env e);
+        dest = None;
+        seq = 0;
+      }
+  | Instr.Test_and_set (r, loc) ->
+    Some
+      {
+        kind = Wo_core.Event.Sync_rmw;
+        loc;
+        payload = `Rmw (fun _old -> 1);
+        dest = Some r;
+        seq = 0;
+      }
+  | Instr.Fetch_and_add (r, loc, e) ->
+    let addend = Instr.eval_expr env e in
+    Some
+      {
+        kind = Wo_core.Event.Sync_rmw;
+        loc;
+        payload = `Rmw (fun old -> old + addend);
+        dest = Some r;
+        seq = 0;
+      }
+  | Instr.Assign _ | Instr.If _ | Instr.While _ | Instr.Nop | Instr.Fence ->
+    None
+
+let rec advance t =
+  match t.code with
+  | [] ->
+    if t.status <> Done then begin
+      t.status <- Done;
+      t.on_finish ()
+    end
+  | instr :: rest -> (
+    match memory_op_of_instr t instr with
+    | Some op ->
+      t.code <- rest;
+      t.status <- Blocked;
+      t.perform (Access { op with seq = next_seq t })
+    | None -> (
+      match instr with
+      | Instr.Fence ->
+        t.code <- rest;
+        t.status <- Blocked;
+        t.perform Fence
+      | _ ->
+        let env r = lookup t r in
+        (match instr with
+        | Instr.Assign (r, e) ->
+          t.env <- Int_map.add r (Instr.eval_expr env e) t.env;
+          t.code <- rest
+        | Instr.Nop -> t.code <- rest
+        | Instr.If (c, a, b) ->
+          t.code <- (if Instr.eval_cond env c then a else b) @ rest
+        | Instr.While (c, body) ->
+          if Instr.eval_cond env c then t.code <- body @ (instr :: rest)
+          else t.code <- rest
+        | Instr.Read _ | Instr.Write _ | Instr.Sync_read _
+        | Instr.Sync_write _ | Instr.Test_and_set _ | Instr.Fetch_and_add _
+        | Instr.Fence ->
+          assert false);
+        schedule_advance t ~delay:t.local_cost))
+
+and schedule_advance t ~delay =
+  t.status <- Running;
+  Wo_sim.Engine.schedule t.engine ~delay (fun () -> advance t)
+
+let start t = schedule_advance t ~delay:0
+
+let resume t ~store ~delay =
+  if t.status <> Blocked then
+    invalid_arg "Proc_frontend.resume: processor is not blocked";
+  (match store with
+  | Some (r, v) -> t.env <- Int_map.add r v t.env
+  | None -> ());
+  schedule_advance t ~delay
+
+let finished t = t.status = Done
+let blocked t = t.status = Blocked
+let proc t = t.proc
+
+let registers t =
+  List.map (fun r -> (r, lookup t r)) t.all_regs |> List.sort compare
+
+let current_position t =
+  match t.code with
+  | [] -> if t.status = Done then "finished" else "at end, blocked"
+  | instr :: _ ->
+    Format.asprintf "blocked before %a (seq %d)" Instr.pp instr t.seq

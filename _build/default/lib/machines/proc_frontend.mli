@@ -1,0 +1,69 @@
+(** Shared processor front-end.
+
+    Walks one thread's instruction AST, executing local computation at a
+    configurable cost per instruction and handing every memory operation to
+    the owning machine.  The machine decides when the processor may proceed
+    (this is exactly where the ordering policies differ) by calling
+    {!resume}; until then the front-end is blocked.
+
+    Expressions are evaluated at issue time, which is sound because the
+    front-end never runs ahead of an operation whose result a later
+    expression needs (reads block until the machine supplies the value). *)
+
+type memory_op = {
+  kind : Wo_core.Event.kind;
+  loc : Wo_core.Event.loc;
+  payload :
+    [ `Read
+    | `Write of Wo_core.Event.value
+    | `Rmw of Wo_core.Event.value -> Wo_core.Event.value ];
+  dest : Wo_prog.Instr.reg option;  (** register receiving the read value *)
+  seq : int;  (** program-order position of this operation *)
+}
+
+type request =
+  | Access of memory_op
+  | Fence
+      (** the machine must not resume the processor until all its previous
+          accesses are globally performed; fences produce no trace event *)
+
+type t
+
+val create :
+  engine:Wo_sim.Engine.t ->
+  proc:Wo_core.Event.proc ->
+  code:Wo_prog.Instr.t list ->
+  ?local_cost:int ->
+  perform:(request -> unit) ->
+  on_finish:(unit -> unit) ->
+  unit ->
+  t
+(** [local_cost] (default 1) is the cycles charged per local instruction
+    and per memory-operation issue.  [perform] receives each memory
+    operation; the machine must eventually call {!resume}.  [on_finish]
+    fires once, when the thread's last instruction has completed. *)
+
+val start : t -> unit
+(** Schedule the first advance at the current time. *)
+
+val resume :
+  t -> store:(Wo_prog.Instr.reg * Wo_core.Event.value) option -> delay:int -> unit
+(** Let the processor proceed past the memory operation most recently given
+    to [perform], optionally storing a read result first.
+    @raise Invalid_argument if the processor is not blocked on an
+    operation. *)
+
+val finished : t -> bool
+
+val blocked : t -> bool
+(** Waiting for the machine to [resume] it. *)
+
+val proc : t -> Wo_core.Event.proc
+
+val registers : t -> (Wo_prog.Instr.reg * Wo_core.Event.value) list
+(** Current register file, sorted, restricted to registers the thread's
+    code mentions. *)
+
+val current_position : t -> string
+(** Human-readable description of where the thread is (for deadlock
+    diagnostics). *)

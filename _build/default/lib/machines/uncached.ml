@@ -1,0 +1,555 @@
+type buffer_config = {
+  depth : int;
+  read_bypass : bool;
+  forwarding : bool;
+  drain_delay : int;
+      (* cycles an entry rests in the buffer before going to memory; the
+         window in which a bypassing read can overtake it *)
+}
+
+type config = {
+  fabric : Coherent.fabric_kind;
+  write_buffer : buffer_config option;
+  wait_write_ack : bool;
+  flush_buffer_on_sync : bool;
+  modules : int;
+  local_cost : int;
+}
+
+(* Messages between processors and memory modules. *)
+type amsg =
+  | M_read of { loc : Wo_core.Event.loc; proc : int; tag : int }
+  | M_write of { loc : Wo_core.Event.loc; value : Wo_core.Event.value; proc : int; tag : int }
+  | M_rmw of {
+      loc : Wo_core.Event.loc;
+      f : Wo_core.Event.value -> Wo_core.Event.value;
+      proc : int;
+      tag : int;
+    }
+  | M_read_reply of { tag : int; value : Wo_core.Event.value; applied_at : int }
+  | M_write_ack of { tag : int; applied_at : int }
+  | M_rmw_reply of { tag : int; old : Wo_core.Event.value; applied_at : int }
+
+type op_rec = {
+  id : int;
+  oproc : int;
+  oseq : int;
+  okind : Wo_core.Event.kind;
+  oloc : Wo_core.Event.loc;
+  mutable rv : Wo_core.Event.value option;
+  mutable wv : Wo_core.Event.value option;
+  mutable issued : int;
+  mutable committed : int;
+  mutable performed : int;
+}
+
+(* Per-location write sequencing: preserves intra-processor same-location
+   ordering (condition 1 of 5.1) even with fire-and-forget writes -- at most
+   one write per location is in flight, later ones queue, and reads of a
+   location with outstanding writes forward the youngest value. *)
+type loc_state = {
+  mutable in_flight : bool;
+  pending_sends : (unit -> unit) Queue.t;
+  mutable last_value : Wo_core.Event.value;
+  mutable loc_waiters : (unit -> unit) list;
+}
+
+type proc_ctx = {
+  mutable fe : Proc_frontend.t option;
+  buffer : Wo_cache.Write_buffer.t option;
+  loc_states : (Wo_core.Event.loc, loc_state) Hashtbl.t;
+  mutable outstanding_acks : int;
+  mutable drain_active : bool;
+  mutable quiet_waiters : (unit -> unit) list;
+      (* waiting for buffer empty && no outstanding acks *)
+  mutable finish_time : int;
+}
+
+let frontend ctx = Option.get ctx.fe
+
+let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
+    (config : config) : Machine.t =
+  if config.modules <= 0 then invalid_arg "Uncached.make: modules must be positive";
+  let run ~seed (program : Wo_prog.Program.t) : Machine.result =
+    let engine = Wo_sim.Engine.create () in
+    let stats = Wo_sim.Stats.create () in
+    let rng = Wo_sim.Rng.make seed in
+    let num_procs = Wo_prog.Program.num_procs program in
+    let module_node loc = num_procs + (loc mod config.modules) in
+    let fabric =
+      match config.fabric with
+      | Coherent.Bus { transfer_cycles } ->
+        Wo_interconnect.Fabric.of_bus
+          (Wo_interconnect.Bus.create ~engine ~stats ~transfer_cycles ())
+      | Coherent.Net { base; jitter } ->
+        let net_rng = Wo_sim.Rng.split rng in
+        Wo_interconnect.Fabric.of_network
+          (Wo_interconnect.Network.create ~engine ~stats
+             ~latency:(Wo_interconnect.Latency.jittered net_rng ~base ~jitter)
+             ())
+      | Coherent.Net_spiky { base; jitter; spike_probability; spike_factor } ->
+        let net_rng = Wo_sim.Rng.split rng in
+        Wo_interconnect.Fabric.of_network
+          (Wo_interconnect.Network.create ~engine ~stats
+             ~latency:
+               (Wo_interconnect.Latency.spiky net_rng ~base ~jitter
+                  ~spike_probability ~spike_factor)
+             ())
+    in
+    (* Memory modules: apply operations in arrival order, atomically. *)
+    let memory : (Wo_core.Event.loc, Wo_core.Event.value) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let mem_read loc =
+      match Hashtbl.find_opt memory loc with
+      | Some v -> v
+      | None -> Wo_prog.Program.initial_value program loc
+    in
+    for m = 0 to config.modules - 1 do
+      let node = num_procs + m in
+      fabric.Wo_interconnect.Fabric.connect ~node (fun msg ->
+          match msg with
+          | M_read { loc; proc; tag } ->
+            fabric.Wo_interconnect.Fabric.send ~src:node ~dst:proc
+              (M_read_reply
+                 { tag; value = mem_read loc; applied_at = Wo_sim.Engine.now engine })
+          | M_write { loc; value; proc; tag } ->
+            Hashtbl.replace memory loc value;
+            fabric.Wo_interconnect.Fabric.send ~src:node ~dst:proc
+              (M_write_ack { tag; applied_at = Wo_sim.Engine.now engine })
+          | M_rmw { loc; f; proc; tag } ->
+            let old = mem_read loc in
+            Hashtbl.replace memory loc (f old);
+            fabric.Wo_interconnect.Fabric.send ~src:node ~dst:proc
+              (M_rmw_reply { tag; old; applied_at = Wo_sim.Engine.now engine })
+          | M_read_reply _ | M_write_ack _ | M_rmw_reply _ ->
+            raise (Machine.Machine_error "memory module received a reply"))
+    done;
+    let ctxs =
+      Array.init num_procs (fun _ ->
+          {
+            fe = None;
+            buffer =
+              Option.map
+                (fun (b : buffer_config) -> Wo_cache.Write_buffer.create ~depth:b.depth)
+                config.write_buffer;
+            loc_states = Hashtbl.create 16;
+            outstanding_acks = 0;
+            drain_active = false;
+            quiet_waiters = [];
+            finish_time = -1;
+          })
+    in
+    let next_op_id = ref 0 in
+    let next_tag = ref 0 in
+    let ops_rev = ref [] in
+    let by_tag : (int, op_rec * (op_rec -> unit)) Hashtbl.t = Hashtbl.create 64 in
+    let stall p reason cycles =
+      if cycles > 0 then begin
+        Wo_sim.Stats.add stats (Printf.sprintf "P%d.stall.%s" p reason) cycles;
+        Wo_sim.Stats.add stats "stall.total" cycles
+      end
+    in
+    let new_op p (op : Proc_frontend.memory_op) =
+      let id = !next_op_id in
+      incr next_op_id;
+      let r =
+        {
+          id;
+          oproc = p;
+          oseq = op.Proc_frontend.seq;
+          okind = op.Proc_frontend.kind;
+          oloc = op.Proc_frontend.loc;
+          rv = None;
+          wv =
+            (match op.Proc_frontend.payload with
+            | `Write v -> Some v
+            | `Read | `Rmw _ -> None);
+          issued = Wo_sim.Engine.now engine;
+          committed = -1;
+          performed = -1;
+        }
+      in
+      ops_rev := r :: !ops_rev;
+      r
+    in
+    let send_with_reply p msg_of_tag (r : op_rec) k =
+      let tag = !next_tag in
+      incr next_tag;
+      Hashtbl.replace by_tag tag (r, k);
+      fabric.Wo_interconnect.Fabric.send ~src:p ~dst:(module_node r.oloc)
+        (msg_of_tag tag)
+    in
+    let quiet ctx =
+      (match ctx.buffer with
+      | Some b -> Wo_cache.Write_buffer.is_empty b
+      | None -> true)
+      && ctx.outstanding_acks = 0
+    in
+    let check_quiet ctx =
+      if quiet ctx then begin
+        let ws = ctx.quiet_waiters in
+        ctx.quiet_waiters <- [];
+        List.iter (fun k -> k ()) ws
+      end
+    in
+    let on_quiet ctx k =
+      if quiet ctx then k () else ctx.quiet_waiters <- k :: ctx.quiet_waiters
+    in
+    let loc_state ctx loc =
+      match Hashtbl.find_opt ctx.loc_states loc with
+      | Some ls -> ls
+      | None ->
+        let ls =
+          {
+            in_flight = false;
+            pending_sends = Queue.create ();
+            last_value = 0;
+            loc_waiters = [];
+          }
+        in
+        Hashtbl.replace ctx.loc_states loc ls;
+        ls
+    in
+    let loc_busy ctx loc =
+      let ls = loc_state ctx loc in
+      ls.in_flight || not (Queue.is_empty ls.pending_sends)
+    in
+    let write_acked ctx loc =
+      let ls = loc_state ctx loc in
+      match Queue.take_opt ls.pending_sends with
+      | Some next -> next () (* stays in flight *)
+      | None ->
+        ls.in_flight <- false;
+        let ws = ls.loc_waiters in
+        ls.loc_waiters <- [];
+        List.iter (fun k -> k ()) ws
+    in
+    let sequence_write ctx loc send =
+      let ls = loc_state ctx loc in
+      if ls.in_flight then Queue.add send ls.pending_sends
+      else begin
+        ls.in_flight <- true;
+        send ()
+      end
+    in
+    (* Drain the write buffer one entry at a time. *)
+    let rec drain p ctx =
+      match ctx.buffer with
+      | None -> ()
+      | Some b ->
+        if not ctx.drain_active then (
+          match Wo_cache.Write_buffer.pop b with
+          | None ->
+            Wo_cache.Write_buffer.notify b;
+            check_quiet ctx
+          | Some entry ->
+            ctx.drain_active <- true;
+            ctx.outstanding_acks <- ctx.outstanding_acks + 1;
+            let ls = loc_state ctx entry.Wo_cache.Write_buffer.loc in
+            ls.in_flight <- true;
+            ls.last_value <- entry.Wo_cache.Write_buffer.value;
+            let r, _ = Hashtbl.find by_tag entry.Wo_cache.Write_buffer.tag in
+            Hashtbl.replace by_tag entry.Wo_cache.Write_buffer.tag
+              ( r,
+                fun r ->
+                  ctx.drain_active <- false;
+                  ctx.outstanding_acks <- ctx.outstanding_acks - 1;
+                  ignore r;
+                  write_acked ctx entry.Wo_cache.Write_buffer.loc;
+                  Wo_cache.Write_buffer.notify b;
+                  drain p ctx );
+            let delay =
+              match config.write_buffer with
+              | Some bc -> max 0 bc.drain_delay
+              | None -> 0
+            in
+            Wo_sim.Engine.schedule engine ~delay (fun () ->
+                fabric.Wo_interconnect.Fabric.send ~src:p
+                  ~dst:(module_node entry.Wo_cache.Write_buffer.loc)
+                  (M_write
+                     {
+                       loc = entry.Wo_cache.Write_buffer.loc;
+                       value = entry.Wo_cache.Write_buffer.value;
+                       proc = p;
+                       tag = entry.Wo_cache.Write_buffer.tag;
+                     })))
+    in
+    let perform p (op : Proc_frontend.memory_op) =
+      let ctx = ctxs.(p) in
+      let fe () = frontend ctx in
+      let now () = Wo_sim.Engine.now engine in
+      let sync =
+        match op.Proc_frontend.kind with
+        | Wo_core.Event.Sync_read | Wo_core.Event.Sync_write
+        | Wo_core.Event.Sync_rmw ->
+          true
+        | Wo_core.Event.Data_read | Wo_core.Event.Data_write -> false
+      in
+      let issue_read r ~reason =
+        ctx.outstanding_acks <- ctx.outstanding_acks + 1;
+        send_with_reply p
+          (fun tag -> M_read { loc = r.oloc; proc = p; tag })
+          r
+          (fun r ->
+            ctx.outstanding_acks <- ctx.outstanding_acks - 1;
+            check_quiet ctx;
+            stall p reason (now () - r.issued);
+            let store =
+              match (op.Proc_frontend.dest, r.rv) with
+              | Some reg, Some v -> Some (reg, v)
+              | _ -> None
+            in
+            Proc_frontend.resume (fe ()) ~store ~delay:1)
+      in
+      let issue_rmw r ~reason f =
+        ctx.outstanding_acks <- ctx.outstanding_acks + 1;
+        send_with_reply p
+          (fun tag -> M_rmw { loc = r.oloc; f; proc = p; tag })
+          r
+          (fun r ->
+            ctx.outstanding_acks <- ctx.outstanding_acks - 1;
+            check_quiet ctx;
+            stall p reason (now () - r.issued);
+            (match (r.rv, op.Proc_frontend.payload) with
+            | Some old, `Rmw f -> r.wv <- Some (f old)
+            | _ -> ());
+            let store =
+              match (op.Proc_frontend.dest, r.rv) with
+              | Some reg, Some v -> Some (reg, v)
+              | _ -> None
+            in
+            Proc_frontend.resume (fe ()) ~store ~delay:1)
+      in
+      let issue_plain_write r v ~wait =
+        let ls = loc_state ctx r.oloc in
+        ls.last_value <- v;
+        let send () =
+          ctx.outstanding_acks <- ctx.outstanding_acks + 1;
+          send_with_reply p
+            (fun tag -> M_write { loc = r.oloc; value = v; proc = p; tag })
+            r
+            (fun r ->
+              ctx.outstanding_acks <- ctx.outstanding_acks - 1;
+              write_acked ctx r.oloc;
+              check_quiet ctx;
+              if wait then begin
+                stall p "write_ack" (now () - r.issued);
+                Proc_frontend.resume (fe ()) ~store:None ~delay:1
+              end)
+        in
+        sequence_write ctx r.oloc send;
+        if not wait then Proc_frontend.resume (fe ()) ~store:None ~delay:1
+      in
+      let forward_read r v =
+        r.rv <- Some v;
+        r.committed <- now ();
+        r.performed <- now ();
+        let store = Option.map (fun reg -> (reg, v)) op.Proc_frontend.dest in
+        Proc_frontend.resume (fe ()) ~store ~delay:1
+      in
+      let go () =
+        let r = new_op p op in
+        match op.Proc_frontend.payload with
+        | `Read -> (
+          match (ctx.buffer, config.write_buffer) with
+          | Some b, Some bc
+            when bc.forwarding && Wo_cache.Write_buffer.has_loc b r.oloc -> (
+            (* Store-to-load forwarding: the youngest buffered write wins. *)
+            match Wo_cache.Write_buffer.newest_for b r.oloc with
+            | Some entry -> forward_read r entry.Wo_cache.Write_buffer.value
+            | None -> assert false)
+          | Some b, Some bc
+            when (not bc.forwarding) && Wo_cache.Write_buffer.has_loc b r.oloc
+            ->
+            (* No forwarding: wait until our write to this location has
+               reached memory (dependency preservation). *)
+            let t0 = now () in
+            on_quiet ctx (fun () ->
+                stall p "buffer_drain" (now () - t0);
+                issue_read r ~reason:"read")
+          | Some b, Some bc
+            when (not bc.read_bypass) && not (Wo_cache.Write_buffer.is_empty b)
+            ->
+            (* No bypass: the read waits for the buffer to drain. *)
+            let t0 = now () in
+            Wo_cache.Write_buffer.on_empty b (fun () ->
+                stall p "buffer_drain" (now () - t0);
+                issue_read r ~reason:"read")
+          | _ ->
+            if loc_busy ctx r.oloc then
+              (* A write of ours to this location is still on its way to
+                 memory: forward its value. *)
+              forward_read r (loc_state ctx r.oloc).last_value
+            else issue_read r ~reason:"read")
+        | `Rmw f ->
+          let reason = if sync then "sync" else "rmw" in
+          let rec gated () =
+            let buffered =
+              match ctx.buffer with
+              | Some b -> Wo_cache.Write_buffer.has_loc b r.oloc
+              | None -> false
+            in
+            if buffered then
+              let t0 = now () in
+              on_quiet ctx (fun () ->
+                  stall p "rmw_order" (now () - t0);
+                  gated ())
+            else if loc_busy ctx r.oloc then begin
+              let t0 = now () in
+              (loc_state ctx r.oloc).loc_waiters <-
+                (fun () ->
+                  stall p "rmw_order" (now () - t0);
+                  gated ())
+                :: (loc_state ctx r.oloc).loc_waiters
+            end
+            else issue_rmw r ~reason f
+          in
+          gated ()
+        | `Write v -> (
+          match ctx.buffer with
+          | Some b when not (sync && config.flush_buffer_on_sync) ->
+            (* Buffered write: commits on deposit (forwarding could
+               dispatch its value); globally performed at the module. *)
+            let tag = !next_tag in
+            incr next_tag;
+            Hashtbl.replace by_tag tag (r, fun _ -> ());
+            let entry = { Wo_cache.Write_buffer.loc = r.oloc; value = v; tag } in
+            if Wo_cache.Write_buffer.push b entry then begin
+              r.committed <- now ();
+              Proc_frontend.resume (fe ()) ~store:None ~delay:1;
+              drain p ctx
+            end
+            else begin
+              let t0 = now () in
+              Wo_cache.Write_buffer.on_not_full b (fun () ->
+                  stall p "buffer_full" (now () - t0);
+                  ignore (Wo_cache.Write_buffer.push b entry);
+                  r.committed <- now ();
+                  Proc_frontend.resume (fe ()) ~store:None ~delay:1;
+                  drain p ctx)
+            end
+          | _ ->
+            issue_plain_write r v ~wait:(config.wait_write_ack || sync))
+      in
+      if sync && config.flush_buffer_on_sync then begin
+        (* Fence semantics: drain the buffer and wait for every outstanding
+           acknowledgement before synchronizing. *)
+        let t0 = Wo_sim.Engine.now engine in
+        on_quiet ctx (fun () ->
+            stall p "sync_fence" (Wo_sim.Engine.now engine - t0);
+            go ())
+      end
+      else go ()
+    in
+    (* Module replies dispatch through the tag table. *)
+    Array.iteri
+      (fun p _ctx ->
+        fabric.Wo_interconnect.Fabric.connect ~node:p (fun msg ->
+            let complete tag fill =
+              match Hashtbl.find_opt by_tag tag with
+              | None -> raise (Machine.Machine_error "unknown reply tag")
+              | Some (r, k) ->
+                Hashtbl.remove by_tag tag;
+                fill r;
+                k r
+            in
+            match msg with
+            | M_read_reply { tag; value; applied_at } ->
+              complete tag (fun r ->
+                  r.rv <- Some value;
+                  r.committed <- applied_at;
+                  r.performed <- applied_at)
+            | M_rmw_reply { tag; old; applied_at } ->
+              complete tag (fun r ->
+                  r.rv <- Some old;
+                  r.committed <- applied_at;
+                  r.performed <- applied_at)
+            | M_write_ack { tag; applied_at } ->
+              complete tag (fun r ->
+                  if r.committed < 0 then r.committed <- applied_at;
+                  r.performed <- applied_at)
+            | M_read _ | M_write _ | M_rmw _ ->
+              raise (Machine.Machine_error "processor received a request")))
+      ctxs;
+    Array.iteri
+      (fun p ctx ->
+        let fe =
+          Proc_frontend.create ~engine ~proc:p
+            ~code:program.Wo_prog.Program.threads.(p)
+            ~local_cost:config.local_cost
+            ~perform:(function
+              | Proc_frontend.Access op -> perform p op
+              | Proc_frontend.Fence ->
+                let t0 = Wo_sim.Engine.now engine in
+                on_quiet ctx (fun () ->
+                    stall p "fence" (Wo_sim.Engine.now engine - t0);
+                    drain p ctx;
+                    Proc_frontend.resume (frontend ctx) ~store:None ~delay:1))
+            ~on_finish:(fun () -> ctx.finish_time <- Wo_sim.Engine.now engine)
+            ()
+        in
+        ctx.fe <- Some fe;
+        Proc_frontend.start fe)
+      ctxs;
+    (match Wo_sim.Engine.run engine with
+    | `Idle -> ()
+    | `Time_limit | `Event_limit ->
+      raise
+        (Machine.Machine_error
+           (Printf.sprintf "%s: simulation event limit exceeded" name)));
+    Array.iteri
+      (fun p ctx ->
+        if not (Proc_frontend.finished (frontend ctx)) then
+          raise
+            (Machine.Machine_error
+               (Printf.sprintf "%s: deadlock: P%d %s" name p
+                  (Proc_frontend.current_position (frontend ctx))));
+        if not (quiet ctx) then
+          raise
+            (Machine.Machine_error
+               (Printf.sprintf "%s: P%d has undrained writes" name p)))
+      ctxs;
+    let memory_final =
+      List.map (fun loc -> (loc, mem_read loc)) (Wo_prog.Program.locs program)
+    in
+    let observable p r =
+      match program.Wo_prog.Program.observable with
+      | None -> true
+      | Some l -> List.mem (p, r) l
+    in
+    let registers =
+      Array.to_list ctxs
+      |> List.concat_map (fun ctx ->
+             let p = Proc_frontend.proc (frontend ctx) in
+             Proc_frontend.registers (frontend ctx)
+             |> List.filter (fun (r, _) -> observable p r)
+             |> List.map (fun (r, v) -> (p, r, v)))
+    in
+    let trace = Wo_sim.Trace.create () in
+    List.iter
+      (fun r ->
+        if r.committed < 0 || r.performed < 0 then
+          raise
+            (Machine.Machine_error
+               (Printf.sprintf "%s: operation %d never completed" name r.id));
+        Wo_sim.Trace.add trace
+          {
+            Wo_sim.Trace.event =
+              Wo_core.Event.make ~id:r.id ~proc:r.oproc ~seq:r.oseq
+                ~kind:r.okind ~loc:r.oloc ?read_value:r.rv
+                ?written_value:r.wv ();
+            issued = r.issued;
+            committed = r.committed;
+            performed = r.performed;
+          })
+      (List.rev !ops_rev);
+    {
+      Machine.outcome = Wo_prog.Outcome.make ~registers ~memory:memory_final;
+      trace;
+      cycles = Wo_sim.Engine.now engine;
+      proc_finish = Array.map (fun ctx -> ctx.finish_time) ctxs;
+      stats = Wo_sim.Stats.to_list stats;
+    }
+  in
+  { Machine.name; description; sequentially_consistent; weakly_ordered_drf0; run }

@@ -1,0 +1,1 @@
+lib/prog/delay_set.ml: Array Format Fun Hashtbl Instr List Program Wo_core

@@ -1,0 +1,1 @@
+lib/prog/delay_set.mli: Format Program Wo_core

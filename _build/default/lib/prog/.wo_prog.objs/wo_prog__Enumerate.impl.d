@@ -1,0 +1,1 @@
+lib/prog/enumerate.ml: Interp List Outcome Seq Wo_core

@@ -1,0 +1,1 @@
+lib/prog/enumerate.mli: Outcome Program Seq Wo_core

@@ -1,0 +1,1 @@
+lib/prog/instr.ml: Format Int List Wo_core

@@ -1,0 +1,1 @@
+lib/prog/instr.mli: Format Wo_core

@@ -1,0 +1,1 @@
+lib/prog/interp.ml: Array Instr Int List Map Option Outcome Program Random Wo_core

@@ -1,0 +1,1 @@
+lib/prog/outcome.ml: Format Instr List Stdlib Wo_core

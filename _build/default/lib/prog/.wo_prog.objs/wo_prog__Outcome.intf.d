@@ -1,0 +1,1 @@
+lib/prog/outcome.mli: Format Instr Wo_core

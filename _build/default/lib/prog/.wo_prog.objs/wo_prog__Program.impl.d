@@ -1,0 +1,1 @@
+lib/prog/program.ml: Array Format Instr Int List Wo_core

@@ -1,0 +1,1 @@
+lib/prog/snippets.ml: Instr List

@@ -1,0 +1,1 @@
+lib/prog/snippets.mli: Instr Wo_core

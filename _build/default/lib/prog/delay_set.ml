@@ -1,0 +1,148 @@
+exception Unsupported of string
+
+type access = {
+  proc : Wo_core.Event.proc;
+  position : int;
+  loc : Wo_core.Event.loc;
+  is_write : bool;
+  is_read : bool;
+}
+
+type delay = {
+  dproc : Wo_core.Event.proc;
+  before : access;
+  after : access;
+}
+
+let access_of_instr proc position (instr : Instr.t) =
+  match instr with
+  | Instr.Read (_, loc) | Instr.Sync_read (_, loc) ->
+    Some { proc; position; loc; is_write = false; is_read = true }
+  | Instr.Write (loc, _) | Instr.Sync_write (loc, _) ->
+    Some { proc; position; loc; is_write = true; is_read = false }
+  | Instr.Test_and_set (_, loc) | Instr.Fetch_and_add (_, loc, _) ->
+    Some { proc; position; loc; is_write = true; is_read = true }
+  | Instr.Assign _ | Instr.Nop | Instr.Fence -> None
+  | Instr.If _ | Instr.While _ ->
+    raise
+      (Unsupported
+         "Delay_set: control flow is not supported (straight-line programs \
+          only)")
+
+let accesses (program : Program.t) =
+  Array.to_list program.Program.threads
+  |> List.mapi (fun proc instrs ->
+         List.mapi (fun position i -> access_of_instr proc position i) instrs
+         |> List.filter_map Fun.id)
+  |> List.concat
+
+let conflicts a b =
+  a.proc <> b.proc && a.loc = b.loc && (a.is_write || b.is_write)
+
+let analyse program =
+  let all = accesses program in
+  (* restrict to accesses that conflict with some other processor's access:
+     only they can participate in a Shasha-Snir cycle *)
+  let nodes =
+    List.filter (fun a -> List.exists (conflicts a) all) all
+  in
+  let node_array = Array.of_list nodes in
+  let n = Array.length node_array in
+  (* adjacency: transitive program order within a processor, conflict edges
+     (both directions) across processors *)
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i <> j then
+            if a.proc = b.proc && a.position < b.position then
+              succs.(i) <- j :: succs.(i)
+            else if conflicts a b then succs.(i) <- j :: succs.(i))
+        node_array)
+    node_array;
+  let reaches src dst =
+    let seen = Array.make n false in
+    let rec visit i =
+      if i = dst then true
+      else if seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        List.exists visit succs.(i)
+      end
+    in
+    List.exists visit succs.(src)
+  in
+  (* a program-order edge (a, b) is a delay iff it lies on a mixed cycle,
+     i.e. b reaches a through the graph *)
+  let delays = ref [] in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if a.proc = b.proc && a.position < b.position && reaches j i then
+            delays := { dproc = a.proc; before = a; after = b } :: !delays)
+        node_array)
+    node_array;
+  List.rev !delays
+
+(* Greedy interval stabbing: sort delay intervals by right endpoint; place a
+   fence just before the right endpoint whenever the interval is not yet
+   covered.  Classic exchange argument gives minimality per processor. *)
+let fence_positions program =
+  let delays = analyse program in
+  let by_proc = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let existing =
+        match Hashtbl.find_opt by_proc d.dproc with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_proc d.dproc
+        ((d.before.position, d.after.position) :: existing))
+    delays;
+  Hashtbl.fold
+    (fun proc intervals acc ->
+      let sorted =
+        List.sort (fun (_, e1) (_, e2) -> compare e1 e2) intervals
+      in
+      let fences = ref [] in
+      List.iter
+        (fun (s, e) ->
+          (* a fence at gap g (after instruction g) covers the interval iff
+             s <= g < e *)
+          let covered = List.exists (fun g -> s <= g && g < e) !fences in
+          if not covered then fences := (e - 1) :: !fences)
+        sorted;
+      List.fold_left (fun acc g -> (proc, g) :: acc) acc !fences)
+    by_proc []
+  |> List.sort compare
+
+let insert_fences (program : Program.t) =
+  let positions = fence_positions program in
+  let threads =
+    Array.to_list program.Program.threads
+    |> List.mapi (fun proc instrs ->
+           let gaps =
+             List.filter_map
+               (fun (p, g) -> if p = proc then Some g else None)
+               positions
+           in
+           List.concat
+             (List.mapi
+                (fun i instr ->
+                  if List.mem i gaps then [ instr; Instr.Fence ]
+                  else [ instr ])
+                instrs))
+  in
+  {
+    program with
+    Program.name = program.Program.name ^ "+fences";
+    threads = Array.of_list threads;
+  }
+
+let pp_delay ppf d =
+  Format.fprintf ppf "P%d: delay %s@%d(%a) -> %s@%d(%a)" d.dproc
+    (if d.before.is_write then "W" else "R")
+    d.before.position Wo_core.Event.pp_loc d.before.loc
+    (if d.after.is_write then "W" else "R")
+    d.after.position Wo_core.Event.pp_loc d.after.loc

@@ -1,0 +1,58 @@
+(** Shasha–Snir delay sets (Section 2.1's software route to sequential
+    consistency).
+
+    Shasha and Snir [ShS88] showed that a static analysis can identify a
+    minimal set of program-ordered access pairs such that delaying the
+    second member of each pair until the first completes guarantees
+    sequential consistency — no matter how weak the hardware.  The paper
+    discusses this as the software alternative to weak ordering and notes
+    its dependence on (possibly pessimistic) static conflict analysis.
+
+    This implementation handles straight-line programs (the litmus-test
+    fragment: no [If]/[While]) and is conservative in the Shasha–Snir
+    sense — it computes the program-ordered pairs that lie on {e some}
+    mixed cycle of program-order and conflict edges, restricted to
+    accesses that actually conflict with another processor.  Enforcing a
+    superset of the minimal delay set is always sound.
+
+    Enforcement inserts {!Instr.Fence} instructions, placed greedily so
+    that one fence covers as many delay pairs as possible (interval
+    stabbing). *)
+
+exception Unsupported of string
+(** Raised on programs with control flow (the analysis is defined for
+    straight-line code; conflict sets of loops need the pessimistic
+    data-dependence machinery the paper warns about). *)
+
+type access = {
+  proc : Wo_core.Event.proc;
+  position : int;  (** index of the instruction in its thread *)
+  loc : Wo_core.Event.loc;
+  is_write : bool;
+  is_read : bool;
+}
+
+type delay = {
+  dproc : Wo_core.Event.proc;
+  before : access;  (** must complete before [after] issues *)
+  after : access;
+}
+
+val accesses : Program.t -> access list
+(** All memory accesses of a straight-line program, in program order.
+    @raise Unsupported on control flow. *)
+
+val analyse : Program.t -> delay list
+(** The delay set: program-ordered pairs of conflicting accesses lying on
+    a mixed cycle. *)
+
+val fence_positions : Program.t -> (Wo_core.Event.proc * int) list
+(** Minimal fence placement covering every delay pair: [(p, i)] means a
+    fence after instruction [i] of processor [p]. *)
+
+val insert_fences : Program.t -> Program.t
+(** The program with the fences of {!fence_positions} inserted.  By
+    [ShS88], the result behaves sequentially consistently on any machine
+    whose fences wait for all previous accesses to perform globally. *)
+
+val pp_delay : Format.formatter -> delay -> unit

@@ -1,0 +1,83 @@
+exception Limit_exceeded
+
+type stats = { executions : int; truncated : bool }
+
+(* Advance every processor that can finish without another memory access;
+   such steps commute with everything, so they are not branch points and
+   skipping them avoids enumerating duplicate executions. *)
+let rec drain_silent state =
+  let silent =
+    List.find_map
+      (fun p ->
+        let state', ev = Interp.step state p in
+        match ev with None -> Some state' | Some _ -> None)
+      (Interp.runnable state)
+  in
+  match silent with None -> state | Some state' -> drain_silent state'
+
+let executions ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  let produced = ref 0 in
+  let rec leaves state : Wo_core.Execution.t Seq.t =
+   fun () ->
+    let state = drain_silent state in
+    if Interp.events_so_far state > max_events then raise Limit_exceeded;
+    match Interp.runnable state with
+    | [] ->
+      incr produced;
+      if !produced > max_executions then raise Limit_exceeded;
+      Seq.Cons (Interp.execution state, Seq.empty)
+    | procs ->
+      Seq.concat_map
+        (fun p ->
+          let state', _ev = Interp.step state p in
+          leaves state')
+        (List.to_seq procs)
+        ()
+  in
+  leaves (Interp.init program)
+
+(* Shared worker for outcome collection; [on_limit] decides whether bounds
+   raise or merely truncate. *)
+let collect_outcomes ~max_events ~max_executions ~raise_on_limit program =
+  let produced = ref 0 in
+  let outcomes = ref [] in
+  let truncated = ref false in
+  let exception Stop in
+  let rec leaves state =
+    let state = drain_silent state in
+    if Interp.events_so_far state > max_events then
+      if raise_on_limit then raise Limit_exceeded
+      else begin
+        truncated := true;
+        raise Stop
+      end;
+    match Interp.runnable state with
+    | [] ->
+      incr produced;
+      outcomes := Interp.outcome state :: !outcomes;
+      if !produced >= max_executions then
+        if raise_on_limit then raise Limit_exceeded
+        else begin
+          truncated := true;
+          raise Stop
+        end
+    | procs ->
+      List.iter
+        (fun p ->
+          let state', _ev = Interp.step state p in
+          leaves state')
+        procs
+  in
+  (try leaves (Interp.init program) with Stop -> ());
+  ( List.sort_uniq Outcome.compare !outcomes,
+    { executions = !produced; truncated = !truncated } )
+
+let outcomes ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  fst (collect_outcomes ~max_events ~max_executions ~raise_on_limit:true program)
+
+let outcomes_with_stats ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  collect_outcomes ~max_events ~max_executions ~raise_on_limit:false program
+
+let check_drf0 ?model ?max_events ?max_executions program =
+  Wo_core.Drf0.program_obeys ?model
+    (executions ?max_events ?max_executions program)

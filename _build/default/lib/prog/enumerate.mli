@@ -1,0 +1,47 @@
+(** Exhaustive enumeration of idealized executions.
+
+    DRF0 (Definition 3) quantifies over {e all} executions on the idealized
+    architecture, and Definition 2's appears-SC test needs the full set of
+    sequentially consistent outcomes.  This module enumerates every
+    interleaving of a program's memory operations by depth-first search
+    over scheduling choices.  Local computation is not a branch point
+    (it commutes), so the branching factor is the number of processors with
+    a pending memory operation.
+
+    Exponential, by design; litmus-scale programs only.  Programs with
+    loops can have unboundedly many executions — bound them with
+    [max_events] and check [truncated]. *)
+
+exception Limit_exceeded
+(** Raised by the lazy sequence when a bound is hit. *)
+
+type stats = {
+  executions : int;   (** number of complete executions enumerated *)
+  truncated : bool;   (** a bound stopped the enumeration *)
+}
+
+val executions :
+  ?max_events:int -> ?max_executions:int -> Program.t ->
+  Wo_core.Execution.t Seq.t
+(** All idealized executions, lazily.  [max_events] (default 64) bounds the
+    length of a single execution; [max_executions] (default 1_000_000)
+    bounds their number.  @raise Limit_exceeded when forcing the sequence
+    past a bound. *)
+
+val outcomes : ?max_events:int -> ?max_executions:int -> Program.t -> Outcome.t list
+(** Distinct sequentially consistent outcomes, sorted.
+    @raise Limit_exceeded as for {!executions}. *)
+
+val outcomes_with_stats :
+  ?max_events:int -> ?max_executions:int -> Program.t ->
+  Outcome.t list * stats
+(** Like {!outcomes} but bounds truncate instead of raising. *)
+
+val check_drf0 :
+  ?model:Wo_core.Sync_model.t ->
+  ?max_events:int -> ?max_executions:int ->
+  Program.t ->
+  (unit, Wo_core.Drf0.report) result
+(** Definition 3: the program obeys the model iff every idealized execution
+    is race-free.  Returns the first racy execution's report otherwise.
+    @raise Limit_exceeded as for {!executions}. *)

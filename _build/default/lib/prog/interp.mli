@@ -1,0 +1,53 @@
+(** The idealized architecture (Section 4).
+
+    "An abstract, idealized architecture where all memory accesses are
+    executed atomically and in program order."  This interpreter executes a
+    program under an arbitrary scheduler, one memory operation at a time;
+    local register computation is folded into the following memory
+    operation (local steps commute with everything, so this loses no
+    behaviour).
+
+    States are persistent, so the enumerator can branch cheaply. *)
+
+exception Local_divergence of Wo_core.Event.proc
+(** Raised when a thread executes an unreasonable number of consecutive
+    local steps without reaching a memory operation (a register-only
+    infinite loop). *)
+
+type state
+
+val init : Program.t -> state
+
+val runnable : state -> Wo_core.Event.proc list
+(** Processors that have not finished. *)
+
+val finished : state -> bool
+
+val step : state -> Wo_core.Event.proc -> state * Wo_core.Event.t option
+(** Advance the processor through local computation until it performs
+    exactly one (atomic) memory operation, or finishes.  Returns the event
+    performed, or [None] if the thread completed without touching memory.
+
+    @raise Invalid_argument if the processor is not runnable. *)
+
+val memory : state -> (Wo_core.Event.loc * Wo_core.Event.value) list
+(** Current memory contents over the program's locations, sorted. *)
+
+val events_so_far : state -> int
+
+val outcome : state -> Outcome.t
+(** Outcome of a finished (or partial) state: observable registers plus
+    memory. *)
+
+val execution : state -> Wo_core.Execution.t
+(** The idealized execution performed so far (events in execution order). *)
+
+val run : sched:(state -> Wo_core.Event.proc option) -> Program.t -> state
+(** Run to completion; [sched] picks among {!runnable} processors (returning
+    [None] or a non-runnable processor falls back to the lowest runnable
+    one). *)
+
+val run_round_robin : Program.t -> state
+
+val run_random : seed:int -> Program.t -> state
+(** Uniform random scheduling from a deterministic seed. *)

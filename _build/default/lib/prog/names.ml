@@ -1,0 +1,22 @@
+(** Conventional location and register names used across examples, litmus
+    tests and documentation.  Locations [x..u] follow the printing
+    convention of {!Wo_core.Event.pp_loc}; the synchronization variables of
+    the paper's figures are [s] and [t]. *)
+
+let x = 0
+let y = 1
+let z = 2
+let a = 3
+let b = 4
+let c = 5
+let s = 6
+let t = 7
+let u = 8
+
+(* Registers. *)
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5

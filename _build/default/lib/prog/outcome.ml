@@ -1,0 +1,28 @@
+type t = {
+  registers : (Wo_core.Event.proc * Instr.reg * Wo_core.Event.value) list;
+  memory : (Wo_core.Event.loc * Wo_core.Event.value) list;
+}
+
+let make ~registers ~memory =
+  { registers = List.sort compare registers; memory = List.sort compare memory }
+
+let compare a b = Stdlib.compare (a.registers, a.memory) (b.registers, b.memory)
+
+let equal a b = compare a b = 0
+
+let register t proc reg =
+  List.find_map
+    (fun (p, r, v) -> if p = proc && r = reg then Some v else None)
+    t.registers
+
+let memory_value t loc = List.assoc_opt loc t.memory
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>{";
+  List.iter
+    (fun (p, r, v) -> Format.fprintf ppf "@ P%d:r%d=%d;" p r v)
+    t.registers;
+  List.iter
+    (fun (l, v) -> Format.fprintf ppf "@ %a=%d;" Wo_core.Event.pp_loc l v)
+    t.memory;
+  Format.fprintf ppf "@ }@]"

@@ -1,0 +1,30 @@
+(** Program outcomes.
+
+    The outcome of running a program is the final value of every observable
+    register plus the final memory state — a program-level projection of
+    the paper's "result" of an execution (values returned by reads and
+    final memory).  Outcomes are what the Definition-2 harness compares:
+    a machine appears sequentially consistent on a program iff every
+    outcome it produces is an outcome of some idealized execution. *)
+
+type t = {
+  registers : (Wo_core.Event.proc * Instr.reg * Wo_core.Event.value) list;
+      (** sorted by (proc, reg) *)
+  memory : (Wo_core.Event.loc * Wo_core.Event.value) list;
+      (** sorted by location; covers every location of the program *)
+}
+
+val make :
+  registers:(Wo_core.Event.proc * Instr.reg * Wo_core.Event.value) list ->
+  memory:(Wo_core.Event.loc * Wo_core.Event.value) list ->
+  t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val register : t -> Wo_core.Event.proc -> Instr.reg -> Wo_core.Event.value option
+
+val memory_value : t -> Wo_core.Event.loc -> Wo_core.Event.value option
+
+val pp : Format.formatter -> t -> unit

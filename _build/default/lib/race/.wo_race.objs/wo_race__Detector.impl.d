@@ -1,0 +1,1 @@
+lib/race/detector.ml: Array Hashtbl List Option Vector_clock Wo_core

@@ -1,0 +1,1 @@
+lib/race/detector.mli: Wo_core

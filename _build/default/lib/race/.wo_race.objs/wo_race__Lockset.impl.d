@@ -1,0 +1,1 @@
+lib/race/lockset.ml: Array Hashtbl Int List Set Wo_core

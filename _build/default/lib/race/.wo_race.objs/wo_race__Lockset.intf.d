@@ -1,0 +1,1 @@
+lib/race/lockset.mli: Wo_core

@@ -1,0 +1,1 @@
+lib/race/vector_clock.ml: Array Format Stdlib String

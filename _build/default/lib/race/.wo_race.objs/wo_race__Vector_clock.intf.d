@@ -1,0 +1,1 @@
+lib/race/vector_clock.mli: Format

@@ -1,0 +1,43 @@
+(** On-the-fly happens-before data-race detection.
+
+    A streaming vector-clock detector in the style the paper cites
+    (Netzer–Miller): feed it the events of one idealized execution in
+    execution order and it reports conflicting access pairs unordered by
+    the happens-before relation of the chosen synchronization model.
+
+    Guarantees: if the execution has at least one race, at least one race
+    is reported (the detector keeps only the last write and the last read
+    per processor for each location, so it may not report {e every} racing
+    pair — the exhaustive {!Wo_core.Drf0} checker does, at quadratic
+    cost).  If the execution is race-free, nothing is reported.
+
+    Unlike {!Wo_core.Drf0.races}, the detector does not augment the
+    execution for initial/final memory state; races with initialization
+    are not its concern (compare with [Drf0.races ~augment:false]). *)
+
+type model = Model_drf0 | Model_drf1
+
+type t
+
+val create : num_procs:int -> model:model -> t
+
+val observe : t -> Wo_core.Event.t -> Wo_core.Drf0.race list
+(** Process one event (events must arrive in execution order, with
+    [Event.proc] < [num_procs]); returns the races this event completes
+    (it is [e2] of each returned pair). *)
+
+val races_of_execution : ?model:model -> Wo_core.Execution.t -> Wo_core.Drf0.race list
+(** Run the detector over a whole execution (default {!Model_drf0}). *)
+
+val is_race_free : ?model:model -> Wo_core.Execution.t -> bool
+
+val sample_program :
+  ?model:model ->
+  ?schedules:int ->
+  run:(seed:int -> Wo_core.Execution.t) ->
+  unit ->
+  Wo_core.Drf0.race list
+(** Dynamic approximation of Definition 3 for programs too large to
+    enumerate: run the program under [schedules] (default 20) seeded
+    schedules and collect races.  An empty result suggests, but does not
+    prove, that the program obeys the model. *)

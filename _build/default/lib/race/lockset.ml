@@ -1,0 +1,114 @@
+module E = Wo_core.Event
+module Int_set = Set.Make (Int)
+
+type violation = {
+  loc : Wo_core.Event.loc;
+  access : Wo_core.Event.t;
+  held : Wo_core.Event.loc list;
+}
+
+(* Eraser's per-location state machine. *)
+type lstate =
+  | Virgin
+  | Exclusive of E.proc
+  | Shared of Int_set.t          (* candidate lockset *)
+  | Shared_modified of Int_set.t
+
+type tracker = {
+  mutable held : Int_set.t array;  (* locks held, per processor *)
+  states : (E.loc, lstate) Hashtbl.t;
+  mutable violations : violation list;
+  reported : (E.loc, unit) Hashtbl.t;
+}
+
+let create num_procs =
+  {
+    held = Array.make num_procs Int_set.empty;
+    states = Hashtbl.create 32;
+    violations = [];
+    reported = Hashtbl.create 8;
+  }
+
+let report t loc access held =
+  if not (Hashtbl.mem t.reported loc) then begin
+    Hashtbl.replace t.reported loc ();
+    t.violations <-
+      { loc; access; held = Int_set.elements held } :: t.violations
+  end
+
+(* Interpret synchronization operations as the lock protocol. *)
+let observe_sync t (e : E.t) =
+  let p = e.E.proc in
+  match e.E.kind with
+  | E.Sync_rmw when e.E.read_value = Some 0 ->
+    (* successful TestAndSet-style acquisition *)
+    t.held.(p) <- Int_set.add e.E.loc t.held.(p)
+  | E.Sync_write when e.E.written_value = Some 0 ->
+    (* Unset: release if held *)
+    t.held.(p) <- Int_set.remove e.E.loc t.held.(p)
+  | E.Sync_rmw | E.Sync_write | E.Sync_read -> ()
+  | E.Data_read | E.Data_write -> assert false
+
+let observe_data t (e : E.t) =
+  let p = e.E.proc in
+  let held = t.held.(p) in
+  let state =
+    match Hashtbl.find_opt t.states e.E.loc with
+    | Some st -> st
+    | None -> Virgin
+  in
+  let check_empty candidates =
+    if Int_set.is_empty candidates then report t e.E.loc e held
+  in
+  let next =
+    match state with
+    | Virgin -> Exclusive p
+    | Exclusive q when q = p -> Exclusive p
+    | Exclusive _ ->
+      (* first access by a second processor: start the candidate set from
+         the current holder's locks *)
+      if E.is_write e then begin
+        check_empty held;
+        Shared_modified held
+      end
+      else Shared held
+    | Shared candidates ->
+      let candidates = Int_set.inter candidates held in
+      if E.is_write e then begin
+        check_empty candidates;
+        Shared_modified candidates
+      end
+      else Shared candidates
+    | Shared_modified candidates ->
+      let candidates = Int_set.inter candidates held in
+      check_empty candidates;
+      Shared_modified candidates
+  in
+  Hashtbl.replace t.states e.E.loc next
+
+let check_execution exn =
+  let procs = Wo_core.Execution.procs exn in
+  let num_procs = 1 + List.fold_left max (-1) procs in
+  let t = create num_procs in
+  List.iter
+    (fun (e : E.t) ->
+      if E.is_sync e then observe_sync t e else observe_data t e)
+    (Wo_core.Execution.events exn);
+  List.rev t.violations
+
+let obeys_monitors_model exn = check_execution exn = []
+
+let check_program ?(schedules = 5) ~run () =
+  let all =
+    List.concat (List.init schedules (fun seed -> check_execution (run ~seed)))
+  in
+  (* deduplicate by location, keeping the first report *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v.loc then false
+      else begin
+        Hashtbl.replace seen v.loc ();
+        true
+      end)
+    all

@@ -1,0 +1,41 @@
+(** A lockset checker — the "sharing only through monitors" synchronization
+    model of the paper's future-work discussion (Section 7), in the style
+    of Eraser.
+
+    Where DRF0 asks only that conflicting accesses be ordered by
+    happens-before {e somehow}, the monitors model demands a specific
+    discipline: every shared location is consistently protected by at
+    least one lock.  The checker interprets the synchronization primitives
+    as a lock protocol — a read-modify-write returning the free value (0)
+    acquires the lock at its location, a write-only synchronization
+    storing 0 releases it — and runs the classic candidate-lockset
+    refinement with the Virgin → Exclusive → Shared → Shared-Modified
+    state machine.
+
+    The model is strictly stronger than DRF0 for the programs it accepts,
+    and incomparable in what it flags: a barrier-synchronized program is
+    DRF0 but fails the monitors model (no lock protects the data), while
+    the lockset checker needs no happens-before reasoning at all and is
+    insensitive to scheduling luck — one execution usually suffices.
+    This trade-off is exactly why the paper suggests models "optimized for
+    particular software paradigms" as future work. *)
+
+type violation = {
+  loc : Wo_core.Event.loc;    (** the unprotected shared location *)
+  access : Wo_core.Event.t;   (** the access that emptied the lockset *)
+  held : Wo_core.Event.loc list;
+      (** locks held by the accessing processor at that point *)
+}
+
+val check_execution : Wo_core.Execution.t -> violation list
+(** Locations that became shared(-modified) with an empty candidate
+    lockset, with the first offending access each. *)
+
+val obeys_monitors_model : Wo_core.Execution.t -> bool
+
+val check_program :
+  ?schedules:int -> run:(seed:int -> Wo_core.Execution.t) -> unit ->
+  violation list
+(** Run several seeded schedules and collect violations (deduplicated by
+    location).  Lockset checking is largely schedule-insensitive, so few
+    schedules are needed (default 5). *)

@@ -1,0 +1,32 @@
+(** Vector clocks over a fixed set of processors.
+
+    The substrate for on-the-fly happens-before race detection (the paper
+    relies on Netzer–Miller-style dynamic detection for programs too large
+    to enumerate). *)
+
+type t
+
+val zero : int -> t
+(** [zero n] for [n] processors. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** Increment one processor's component. *)
+
+val join : t -> t -> t
+(** Pointwise maximum.  @raise Invalid_argument on size mismatch. *)
+
+val leq : t -> t -> bool
+(** Pointwise less-or-equal: [leq a b] iff a happened-before-or-equals b. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val pp : Format.formatter -> t -> unit

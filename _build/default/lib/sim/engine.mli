@@ -1,0 +1,27 @@
+(** Discrete-event simulation engine.
+
+    Components schedule closures at future times; the engine runs them in
+    time order, FIFO among events scheduled for the same tick, which keeps
+    simulations deterministic. *)
+
+type t
+
+type stop_reason = [ `Idle | `Time_limit | `Event_limit ]
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time (cycles). *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run the closure [delay] cycles from now ([delay >= 0]). *)
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the past. *)
+
+val pending : t -> int
+(** Number of events not yet executed. *)
+
+val run : ?max_time:int -> ?max_events:int -> t -> stop_reason
+(** Execute events until the queue drains or a limit is hit.
+    [max_events] (default 50 million) is a deadlock/livelock backstop. *)

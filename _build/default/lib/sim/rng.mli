@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All randomness in the simulators flows through this module so every
+    experiment is reproducible from its integer seed.  Instances are
+    mutable; {!split} derives an independent stream, which the machines use
+    to give each component (network, scheduler) its own stream so adding a
+    random draw in one component does not perturb the others. *)
+
+type t
+
+val make : int -> t
+
+val split : t -> t
+(** A new generator with an independent stream, deterministic in the state
+    of [t] (advances [t]). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

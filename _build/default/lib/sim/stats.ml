@@ -1,0 +1,25 @@
+type t = (string, int) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let get t name = match Hashtbl.find_opt t name with Some v -> v | None -> 0
+
+let add t name n = Hashtbl.replace t name (get t name + n)
+
+let incr t name = add t name 1
+
+let max_to t name n = if n > get t name then Hashtbl.replace t name n
+
+let to_list t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort compare
+
+let merge a b =
+  let t = create () in
+  List.iter (fun (k, v) -> add t k v) (to_list a);
+  List.iter (fun (k, v) -> add t k v) (to_list b);
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s = %d@," k v) (to_list t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,23 @@
+(** Named integer counters for simulation statistics. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 if never touched. *)
+
+val max_to : t -> string -> int -> unit
+(** Keep the running maximum. *)
+
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val merge : t -> t -> t
+(** Pointwise sum into a fresh collector. *)
+
+val pp : Format.formatter -> t -> unit

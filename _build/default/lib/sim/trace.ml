@@ -1,0 +1,99 @@
+type entry = {
+  event : Wo_core.Event.t;
+  issued : int;
+  committed : int;
+  performed : int;
+}
+
+type t = { mutable entries_rev : entry list; mutable size : int }
+
+let create () = { entries_rev = []; size = 0 }
+
+let add t e =
+  t.entries_rev <- e :: t.entries_rev;
+  t.size <- t.size + 1
+
+let size t = t.size
+
+let commit_key e = (e.committed, e.event.Wo_core.Event.id)
+
+let entries t =
+  List.sort (fun a b -> compare (commit_key a) (commit_key b)) t.entries_rev
+
+let entries_by_issue t =
+  List.sort
+    (fun a b ->
+      compare (a.issued, a.event.Wo_core.Event.id)
+        (b.issued, b.event.Wo_core.Event.id))
+    t.entries_rev
+
+let events t = List.map (fun e -> e.event) (entries t)
+
+let program_order t =
+  let by_proc = Hashtbl.create 17 in
+  List.iter
+    (fun e ->
+      let ev = e.event in
+      let existing =
+        match Hashtbl.find_opt by_proc ev.Wo_core.Event.proc with
+        | None -> []
+        | Some l -> l
+      in
+      Hashtbl.replace by_proc ev.Wo_core.Event.proc (ev :: existing))
+    t.entries_rev;
+  Hashtbl.fold
+    (fun _proc evs r ->
+      let sorted =
+        List.sort
+          (fun (a : Wo_core.Event.t) b -> compare a.Wo_core.Event.seq b.Wo_core.Event.seq)
+          evs
+      in
+      let rec adjacent r = function
+        | a :: (b :: _ as rest) ->
+          adjacent (Wo_core.Relation.add a.Wo_core.Event.id b.Wo_core.Event.id r) rest
+        | [ _ ] | [] -> r
+      in
+      adjacent r sorted)
+    by_proc Wo_core.Relation.empty
+
+let sync_commit_order t =
+  let syncs =
+    entries t |> List.filter (fun e -> Wo_core.Event.is_sync e.event)
+  in
+  let by_loc = Hashtbl.create 17 in
+  List.iter
+    (fun e ->
+      let loc = e.event.Wo_core.Event.loc in
+      let existing =
+        match Hashtbl.find_opt by_loc loc with None -> [] | Some l -> l
+      in
+      Hashtbl.replace by_loc loc (e :: existing))
+    syncs;
+  Hashtbl.fold
+    (fun _loc evs r ->
+      let sorted =
+        List.sort (fun a b -> compare (commit_key a) (commit_key b))
+          (List.rev evs)
+      in
+      let rec adjacent r = function
+        | a :: (b :: _ as rest) ->
+          adjacent
+            (Wo_core.Relation.add a.event.Wo_core.Event.id
+               b.event.Wo_core.Event.id r)
+            rest
+        | [ _ ] | [] -> r
+      in
+      adjacent r sorted)
+    by_loc Wo_core.Relation.empty
+
+let find t id =
+  List.find_opt (fun e -> e.event.Wo_core.Event.id = id) t.entries_rev
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%4d/%4d/%4d  %a@," e.issued e.committed e.performed
+        Wo_core.Event.pp e.event)
+    (entries t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: List Printf Wo_prog

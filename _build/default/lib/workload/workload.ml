@@ -1,0 +1,197 @@
+module I = Wo_prog.Instr
+module S = Wo_prog.Snippets
+
+type t = {
+  name : string;
+  description : string;
+  program : Wo_prog.Program.t;
+  validate : Wo_prog.Outcome.t -> (unit, string) result;
+}
+
+let repeat n block = List.concat (List.init n (fun _ -> block))
+
+let expect_memory outcome loc expected what =
+  match Wo_prog.Outcome.memory_value outcome loc with
+  | Some v when v = expected -> Ok ()
+  | Some v -> Error (Printf.sprintf "%s: expected %d, got %d" what expected v)
+  | None -> Error (Printf.sprintf "%s: location absent from outcome" what)
+
+let expect_register outcome proc reg expected what =
+  match Wo_prog.Outcome.register outcome proc reg with
+  | Some v when v = expected -> Ok ()
+  | Some v ->
+    Error (Printf.sprintf "%s (P%d): expected %d, got %d" what proc expected v)
+  | None -> Error (Printf.sprintf "%s (P%d): register absent" what proc)
+
+let combine results =
+  match
+    List.filter_map (function Ok () -> None | Error e -> Some e) results
+  with
+  | [] -> Ok ()
+  | e :: _ -> Error e
+
+(* --- lock-protected shared counter ----------------------------------------- *)
+
+let critical_section ?(procs = 4) ?(sections = 5) ?(work = 8)
+    ?(use_ttas = false) () =
+  let lock = 0 and counter = 1 in
+  let thread _p =
+    repeat sections
+      (S.critical_section ~lock ~scratch:4 ~use_ttas ~scratch2:5
+         ([ I.Read (0, counter); I.Write (counter, I.Add (I.Reg 0, I.Const 1)) ]
+         @ S.local_work work)
+      @ S.local_work work)
+  in
+  let program =
+    Wo_prog.Program.make
+      ~name:(Printf.sprintf "critical-section-p%d-s%d" procs sections)
+      ~observable:[]
+      (List.init procs thread)
+  in
+  {
+    name = "critical-section";
+    description =
+      "Lock-protected shared counter: every processor increments it inside \
+       a critical section; mutual exclusion makes the final value exact.";
+    program;
+    validate =
+      (fun o -> expect_memory o counter (procs * sections) "shared counter");
+  }
+
+(* --- spin barrier (Section 6's barrier-count spinning) --------------------- *)
+
+let spin_barrier ?(procs = 4) ?(rounds = 3) ?(work = 8) () =
+  let slot p r = (p * rounds) + r in
+  let barrier r = (procs * rounds) + r in
+  let written p r = (r * 1000) + p + 1 in
+  let thread p =
+    List.concat
+      (List.init rounds (fun r ->
+           S.local_work work
+           @ [ I.Write (slot p r, I.Const (written p r)) ]
+           @ S.barrier_wait ~counter:(barrier r) ~participants:procs
+               ~scratch:4 ~spin:5
+           @ [
+               I.Read (1, slot ((p + 1) mod procs) r);
+               I.Assign (0, I.Add (I.Reg 0, I.Reg 1));
+             ]))
+  in
+  let program =
+    Wo_prog.Program.make
+      ~name:(Printf.sprintf "spin-barrier-p%d-r%d" procs rounds)
+      ~observable:(List.init procs (fun p -> (p, 0)))
+      (List.init procs thread)
+  in
+  let expected p =
+    let neighbour = (p + 1) mod procs in
+    List.fold_left ( + ) 0 (List.init rounds (fun r -> written neighbour r))
+  in
+  {
+    name = "spin-barrier";
+    description =
+      "Rounds of work separated by counting barriers on which processors \
+       spin with read-only synchronization; each processor then reads its \
+       neighbour's contribution for that round.";
+    program;
+    validate =
+      (fun o ->
+        combine
+          (List.init procs (fun p ->
+               expect_register o p 0 (expected p) "barrier checksum")));
+  }
+
+(* --- flag-synchronized producer/consumer ----------------------------------- *)
+
+let producer_consumer ?(items = 6) ?(work = 5) ?(batch = 1) () =
+  (* [batch] buffer slots are written per item and reused across items, so
+     after the first handoff every buffer write must invalidate the
+     consumer's shared copy: a machine that overlaps those invalidations
+     (Definition 1 and beyond) beats one that waits for each write to
+     perform globally (the SC baseline). *)
+  let buf i = i and flag = batch and ack = batch + 1 in
+  let item i j = (i * 7) + j + 1 in
+  let producer =
+    List.concat
+      (List.init items (fun i ->
+           List.init batch (fun j -> I.Write (buf j, I.Const (item i j)))
+           @ [ I.Sync_write (flag, I.Const (i + 1)) ]
+           @ S.local_work work
+           @ [
+               I.Assign (5, I.Const 0);
+               I.While
+                 (I.Ne (I.Reg 5, I.Const (i + 1)), [ I.Sync_read (5, ack) ]);
+             ]))
+  in
+  let consumer =
+    List.concat
+      (List.init items (fun i ->
+           [
+             I.Assign (5, I.Const 0);
+             I.While
+               (I.Ne (I.Reg 5, I.Const (i + 1)), [ I.Sync_read (5, flag) ]);
+           ]
+           @ List.concat_map
+               (fun j ->
+                 [ I.Read (1, buf j); I.Assign (0, I.Add (I.Reg 0, I.Reg 1)) ])
+               (List.init batch (fun j -> j))
+           @ [ I.Sync_write (ack, I.Const (i + 1)) ]
+           @ S.local_work work))
+  in
+  let program =
+    Wo_prog.Program.make
+      ~name:(Printf.sprintf "producer-consumer-i%d-b%d" items batch)
+      ~observable:[ (1, 0) ]
+      [ producer; consumer ]
+  in
+  let expected =
+    List.fold_left ( + ) 0
+      (List.concat
+         (List.init items (fun i -> List.init batch (fun j -> item i j))))
+  in
+  {
+    name = "producer-consumer";
+    description =
+      "Flag-synchronized handoff of a batch of values through reused \
+       buffer locations, with acknowledgements for flow control.";
+    program;
+    validate = (fun o -> expect_register o 1 0 expected "consumer checksum");
+  }
+
+(* --- sharded counter with a final reduction -------------------------------- *)
+
+let sharded_counter ?(procs = 4) ?(increments = 10) () =
+  let shard p = p in
+  let lock = procs and total = procs + 1 in
+  let thread p =
+    repeat increments
+      [ I.Read (1, shard p); I.Write (shard p, I.Add (I.Reg 1, I.Const 1)) ]
+    @ S.critical_section ~lock ~scratch:4
+        [
+          I.Read (2, total);
+          I.Read (3, shard p);
+          I.Write (total, I.Add (I.Reg 2, I.Reg 3));
+        ]
+  in
+  let program =
+    Wo_prog.Program.make
+      ~name:(Printf.sprintf "sharded-counter-p%d-i%d" procs increments)
+      ~observable:[]
+      (List.init procs thread)
+  in
+  {
+    name = "sharded-counter";
+    description =
+      "Mostly-private traffic: each processor increments its own shard and \
+       adds it to a lock-protected total at the end.";
+    program;
+    validate =
+      (fun o -> expect_memory o total (procs * increments) "reduced total");
+  }
+
+let all =
+  [
+    critical_section ();
+    spin_barrier ();
+    producer_consumer ();
+    sharded_counter ();
+  ]

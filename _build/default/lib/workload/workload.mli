@@ -1,0 +1,46 @@
+(** Performance workloads (Section 6 and the paper's proposed future-work
+    quantitative study).
+
+    Every workload is data-race-free by construction (shared data is
+    accessed under locks, after barriers, or through synchronized
+    handoffs) and carries a validator that checks the machine preserved
+    its invariant — the correctness oracle for runs whose SC outcome sets
+    are far too large to enumerate. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Wo_prog.Program.t;
+  validate : Wo_prog.Outcome.t -> (unit, string) result;
+      (** checks the workload's invariant on a machine outcome *)
+}
+
+val critical_section :
+  ?procs:int -> ?sections:int -> ?work:int -> ?use_ttas:bool -> unit -> t
+(** Each processor repeatedly acquires a shared lock, increments a shared
+    counter, does [work] local cycles inside the section, releases, and
+    does [work] local cycles outside.  Invariant: the counter equals
+    [procs * sections] (mutual exclusion preserved every increment). *)
+
+val spin_barrier : ?procs:int -> ?rounds:int -> ?work:int -> unit -> t
+(** Rounds of: local work, then a counting barrier on which processors
+    spin with read-only synchronization — the "spinning on a barrier
+    count" of Section 6.  Each processor writes its contribution to a
+    private slot before the barrier and reads a neighbour's after it.
+    Invariant: every read observed the value written in the same round. *)
+
+val producer_consumer : ?items:int -> ?work:int -> ?batch:int -> unit -> t
+(** Two processors; flag-synchronized handoff of [items] batches of
+    [batch] values (default 1) through reused buffer locations.  Because
+    the locations are reused, every producer write after the first item
+    must invalidate the consumer's shared copies — a machine that overlaps
+    those invalidations beats one that waits for each write to perform
+    globally.  Invariant: the consumer's checksum matches. *)
+
+val sharded_counter : ?procs:int -> ?increments:int -> unit -> t
+(** Each processor owns a shard (no sharing at all except the final
+    lock-protected reduction by processor 0).  Mostly-private traffic:
+    the weak machines should shine here. *)
+
+val all : t list
+(** One instance of each with default parameters. *)

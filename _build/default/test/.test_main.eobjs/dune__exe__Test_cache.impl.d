@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array List Option Printf Wo_cache Wo_interconnect Wo_sim

@@ -1,0 +1,1 @@
+test/test_cross_check.ml: Alcotest Int List QCheck QCheck_alcotest Seq Wo_core Wo_litmus Wo_machines Wo_prog Wo_race Wo_sim

@@ -1,0 +1,1 @@
+test/test_delay_set.ml: Alcotest Array List Printf QCheck QCheck_alcotest Wo_litmus Wo_machines Wo_prog

@@ -1,0 +1,1 @@
+test/test_drf0.ml: Alcotest Gen List QCheck QCheck_alcotest Wo_core Wo_litmus Wo_prog

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest List QCheck QCheck_alcotest Seq Wo_core Wo_litmus Wo_prog

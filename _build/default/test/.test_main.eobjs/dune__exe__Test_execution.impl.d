@@ -1,0 +1,1 @@
+test/test_execution.ml: Alcotest Format Int List Option String Wo_core

@@ -1,0 +1,1 @@
+test/test_happens_before.ml: Alcotest List QCheck QCheck_alcotest Wo_core Wo_litmus Wo_prog

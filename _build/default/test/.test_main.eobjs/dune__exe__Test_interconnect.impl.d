@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest List Wo_interconnect Wo_sim

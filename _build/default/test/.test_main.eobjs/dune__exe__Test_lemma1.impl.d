@@ -1,0 +1,1 @@
+test/test_lemma1.ml: Alcotest Format List QCheck QCheck_alcotest Wo_core Wo_litmus Wo_machines Wo_prog

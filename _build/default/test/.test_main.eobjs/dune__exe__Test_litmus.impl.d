@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest List Wo_litmus Wo_machines Wo_prog Wo_race

@@ -1,0 +1,1 @@
+test/test_lockset.ml: Alcotest List Printf Wo_core Wo_litmus Wo_prog Wo_race Wo_workload

@@ -1,0 +1,1 @@
+test/test_machines.ml: Alcotest Array List Printf String Wo_cache Wo_litmus Wo_machines Wo_prog Wo_sim Wo_workload

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array List Printf String Wo_litmus Wo_machines Wo_prog

@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest List Option Wo_core Wo_litmus Wo_prog

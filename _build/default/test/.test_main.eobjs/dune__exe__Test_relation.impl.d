@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Gen List QCheck QCheck_alcotest Wo_core

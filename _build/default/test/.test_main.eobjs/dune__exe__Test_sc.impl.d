@@ -1,0 +1,1 @@
+test/test_sc.ml: Alcotest List QCheck QCheck_alcotest Wo_core Wo_litmus Wo_prog

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Printf Wo_prog Wo_race Wo_workload

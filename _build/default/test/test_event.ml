@@ -1,0 +1,111 @@
+(* Tests for Wo_core.Event: operation classification and the conflict
+   predicate of Definition 3. *)
+
+module E = Wo_core.Event
+
+let mk ?(id = 0) ?(proc = 0) ?(seq = 0) ?(loc = 0) kind =
+  E.make ~id ~proc ~seq ~kind ~loc ()
+
+let check = Alcotest.(check bool)
+
+let all_kinds =
+  [ E.Data_read; E.Data_write; E.Sync_read; E.Sync_write; E.Sync_rmw ]
+
+let test_is_read () =
+  let expected = function
+    | E.Data_read | E.Sync_read | E.Sync_rmw -> true
+    | E.Data_write | E.Sync_write -> false
+  in
+  List.iter
+    (fun k -> check "read component" (expected k) (E.is_read (mk k)))
+    all_kinds
+
+let test_is_write () =
+  let expected = function
+    | E.Data_write | E.Sync_write | E.Sync_rmw -> true
+    | E.Data_read | E.Sync_read -> false
+  in
+  List.iter
+    (fun k -> check "write component" (expected k) (E.is_write (mk k)))
+    all_kinds
+
+let test_is_sync () =
+  let expected = function
+    | E.Sync_read | E.Sync_write | E.Sync_rmw -> true
+    | E.Data_read | E.Data_write -> false
+  in
+  List.iter
+    (fun k ->
+      check "sync" (expected k) (E.is_sync (mk k));
+      check "data is the complement" (not (expected k)) (E.is_data (mk k)))
+    all_kinds
+
+let test_conflicts_same_loc () =
+  (* Conflict iff same location and not both read-only. *)
+  let read_only = function
+    | E.Data_read | E.Sync_read -> true
+    | E.Data_write | E.Sync_write | E.Sync_rmw -> false
+  in
+  List.iter
+    (fun k1 ->
+      List.iter
+        (fun k2 ->
+          let expected = not (read_only k1 && read_only k2) in
+          check
+            (Format.asprintf "%a vs %a" E.pp_kind k1 E.pp_kind k2)
+            expected
+            (E.conflicts (mk ~id:0 k1) (mk ~id:1 k2)))
+        all_kinds)
+    all_kinds
+
+let test_conflicts_different_loc () =
+  List.iter
+    (fun k1 ->
+      List.iter
+        (fun k2 ->
+          check "no cross-location conflict" false
+            (E.conflicts (mk ~loc:0 k1) (mk ~id:1 ~loc:1 k2)))
+        all_kinds)
+    all_kinds
+
+let test_conflict_symmetry () =
+  List.iter
+    (fun k1 ->
+      List.iter
+        (fun k2 ->
+          check "symmetric"
+            (E.conflicts (mk k1) (mk ~id:1 k2))
+            (E.conflicts (mk ~id:1 k2) (mk k1)))
+        all_kinds)
+    all_kinds
+
+let test_compare_equal () =
+  let a = mk ~id:1 E.Data_read and b = mk ~id:2 E.Data_read in
+  check "equal by id" true (E.equal a (mk ~id:1 E.Data_write));
+  check "unequal ids" false (E.equal a b);
+  Alcotest.(check bool) "compare consistent" true (E.compare a b < 0)
+
+let test_pp () =
+  let e =
+    E.make ~id:3 ~proc:1 ~seq:0 ~kind:E.Data_write ~loc:0 ~written_value:7 ()
+  in
+  Alcotest.(check string) "write rendering" "W(x=7)@P1"
+    (Format.asprintf "%a" E.pp e);
+  let r =
+    E.make ~id:4 ~proc:2 ~seq:1 ~kind:E.Data_read ~loc:1 ~read_value:5 ()
+  in
+  Alcotest.(check string) "read rendering" "R(y?5)@P2"
+    (Format.asprintf "%a" E.pp r)
+
+let tests =
+  [
+    Alcotest.test_case "is_read" `Quick test_is_read;
+    Alcotest.test_case "is_write" `Quick test_is_write;
+    Alcotest.test_case "is_sync / is_data" `Quick test_is_sync;
+    Alcotest.test_case "conflicts on one location" `Quick test_conflicts_same_loc;
+    Alcotest.test_case "no conflicts across locations" `Quick
+      test_conflicts_different_loc;
+    Alcotest.test_case "conflict symmetry" `Quick test_conflict_symmetry;
+    Alcotest.test_case "compare and equal" `Quick test_compare_equal;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

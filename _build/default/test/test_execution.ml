@@ -1,0 +1,145 @@
+(* Tests for Wo_core.Execution: idealized executions, derived orders, and
+   the initial/final-state augmentation of Section 4. *)
+
+module E = Wo_core.Event
+module X = Wo_core.Execution
+module R = Wo_core.Relation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* P0: W(x)=1; R(y)=0   P1: W(y)=2 *)
+let sample =
+  X.build
+    [
+      (0, E.Data_write, 0, None, Some 1);
+      (1, E.Data_write, 1, None, Some 2);
+      (0, E.Data_read, 1, Some 0, None);
+    ]
+
+let test_build_assigns_ids_seqs () =
+  let evs = X.events sample in
+  check_int "size" 3 (X.size sample);
+  Alcotest.(check (list int)) "ids in order" [ 0; 1; 2 ]
+    (List.map (fun (e : E.t) -> e.E.id) evs);
+  let p0 = List.filter (fun (e : E.t) -> e.E.proc = 0) evs in
+  Alcotest.(check (list int)) "P0 seqs" [ 0; 1 ]
+    (List.map (fun (e : E.t) -> e.E.seq) p0)
+
+let test_procs_locs () =
+  Alcotest.(check (list int)) "procs" [ 0; 1 ] (X.procs sample);
+  Alcotest.(check (list int)) "locs" [ 0; 1 ] (X.locs sample)
+
+let test_order_index_find () =
+  check_int "index of id 2" 2 (X.order_index sample 2);
+  let e = X.find sample 1 in
+  check_int "found event proc" 1 e.E.proc
+
+let test_program_order () =
+  let po = X.program_order sample in
+  check "P0 write -> P0 read" true (R.mem 0 2 po);
+  check "no cross-proc po" false (R.mem 0 1 po);
+  check_int "one adjacent pair" 1 (R.cardinal po)
+
+let test_sync_order () =
+  let exn =
+    X.build
+      [
+        (0, E.Sync_write, 6, None, Some 1);
+        (1, E.Sync_rmw, 6, Some 1, Some 1);
+        (0, E.Sync_write, 7, None, Some 1);
+        (1, E.Sync_rmw, 6, Some 1, Some 1);
+      ]
+  in
+  let so = X.sync_order exn in
+  check "same-loc syncs ordered by completion" true (R.mem 0 1 so);
+  check "adjacent chain" true (R.mem 1 3 so);
+  check "different locations unrelated" false (R.mem 0 2 so);
+  check "data ops never in so" true
+    (R.is_empty (X.sync_order sample))
+
+let test_rejects_duplicate_ids () =
+  let e id = E.make ~id ~proc:0 ~seq:id ~kind:E.Data_read ~loc:0 () in
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Execution.of_ordered_events: duplicate event id")
+    (fun () -> ignore (X.of_ordered_events [ e 0; e 0 ]))
+
+let test_rejects_po_violation () =
+  let e id seq = E.make ~id ~proc:0 ~seq ~kind:E.Data_read ~loc:0 () in
+  Alcotest.check_raises "out of program order"
+    (Invalid_argument
+       "Execution.of_ordered_events: processor events out of program order")
+    (fun () -> ignore (X.of_ordered_events [ e 0 1; e 1 0 ]))
+
+let test_augment () =
+  let a = X.augment sample in
+  check "augmented" true (X.is_augmented a);
+  check "idempotent" true (X.augment a == a);
+  let vp = Option.get (X.virtual_proc a) in
+  check_int "virtual proc is fresh" 2 vp;
+  (* initializing writes for both locations, a sync each way per real
+     processor, a final sync and final reads *)
+  let locs = X.locs sample in
+  let init_writes =
+    List.filter
+      (fun (e : E.t) -> e.E.proc = vp && E.is_write e && e.E.kind = E.Data_write)
+      (X.events a)
+  in
+  check_int "one init write per location" (List.length locs)
+    (List.length init_writes);
+  let final_reads =
+    List.filter
+      (fun (e : E.t) -> e.E.proc = vp && e.E.kind = E.Data_read)
+      (X.events a)
+  in
+  check_int "one final read per location" (List.length locs)
+    (List.length final_reads);
+  (* the special synchronization location is fresh *)
+  let special =
+    List.filter (fun (e : E.t) -> E.is_sync e) (X.events a)
+    |> List.map (fun (e : E.t) -> e.E.loc)
+    |> List.sort_uniq Int.compare
+  in
+  check "special location not among originals" true
+    (List.for_all (fun l -> not (List.mem l locs)) special);
+  (* augmentation orders the initial writes before every original event *)
+  let hb = Wo_core.Happens_before.of_execution a in
+  let init_write = List.hd init_writes in
+  check "init write happens-before original accesses" true
+    (List.for_all
+       (fun (e : E.t) ->
+         Wo_core.Happens_before.ordered hb init_write.E.id e.E.id)
+       (List.filter (fun (e : E.t) -> e.E.proc <> vp && E.is_data e)
+          (X.events a)))
+
+let test_final_memory () =
+  Alcotest.(check (list (pair int int)))
+    "final memory"
+    [ (0, 1); (1, 2) ]
+    (X.final_memory sample)
+
+let test_reads_writes () =
+  check_int "reads" 1 (List.length (X.reads sample));
+  check_int "writes" 2 (List.length (X.writes sample))
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" X.pp sample in
+  check "mentions both processors" true
+    (String.length s > 0
+    && String.index_opt s 'P' <> None)
+
+let tests =
+  [
+    Alcotest.test_case "build assigns ids and seqs" `Quick
+      test_build_assigns_ids_seqs;
+    Alcotest.test_case "procs and locs" `Quick test_procs_locs;
+    Alcotest.test_case "order_index and find" `Quick test_order_index_find;
+    Alcotest.test_case "program order" `Quick test_program_order;
+    Alcotest.test_case "sync order" `Quick test_sync_order;
+    Alcotest.test_case "rejects duplicate ids" `Quick test_rejects_duplicate_ids;
+    Alcotest.test_case "rejects po violations" `Quick test_rejects_po_violation;
+    Alcotest.test_case "augmentation" `Quick test_augment;
+    Alcotest.test_case "final memory" `Quick test_final_memory;
+    Alcotest.test_case "reads and writes" `Quick test_reads_writes;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

@@ -1,0 +1,152 @@
+(* Tests for the interconnect substrate: latency models, the general
+   network (reordering!), the serializing bus. *)
+
+module Engine = Wo_sim.Engine
+module Rng = Wo_sim.Rng
+module L = Wo_interconnect.Latency
+module Net = Wo_interconnect.Network
+module Bus = Wo_interconnect.Bus
+module F = Wo_interconnect.Fabric
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_latency_fixed () =
+  check_int "fixed" 7 (L.fixed 7 ~src:0 ~dst:1)
+
+let test_latency_jittered_range () =
+  let rng = Rng.make 5 in
+  let lat = L.jittered rng ~base:3 ~jitter:4 in
+  for _ = 1 to 100 do
+    let d = lat ~src:0 ~dst:1 in
+    check "within [base, base+jitter]" true (d >= 3 && d <= 7)
+  done
+
+let test_latency_scale_nodes () =
+  let inner = L.fixed 2 in
+  let lat = L.scale_nodes [ (1, 10) ] inner in
+  check_int "to slow node" 20 (lat ~src:0 ~dst:1);
+  check_int "from slow node" 20 (lat ~src:1 ~dst:0);
+  check_int "unaffected" 2 (lat ~src:0 ~dst:2)
+
+let test_latency_scale_routes () =
+  let lat = L.scale_routes [ ((0, 1), 10) ] (L.fixed 2) in
+  check_int "slowed route" 20 (lat ~src:0 ~dst:1);
+  check_int "reverse direction untouched" 2 (lat ~src:1 ~dst:0);
+  check_int "other routes untouched" 2 (lat ~src:0 ~dst:2)
+
+let test_network_delivery () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~latency:(L.fixed 4) () in
+  let received = ref [] in
+  Net.connect net ~node:1 (fun msg -> received := (msg, Engine.now engine) :: !received);
+  Net.send net ~src:0 ~dst:1 "hello";
+  ignore (Engine.run engine);
+  (match !received with
+  | [ ("hello", t) ] -> check_int "arrives after latency" 4 t
+  | _ -> Alcotest.fail "expected one delivery");
+  check_int "messages counted" 1 (Net.messages_sent net)
+
+let test_network_fixed_is_fifo () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~latency:(L.fixed 3) () in
+  let received = ref [] in
+  Net.connect net ~node:1 (fun msg -> received := msg :: !received);
+  List.iter (fun m -> Net.send net ~src:0 ~dst:1 m) [ 1; 2; 3; 4 ];
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "in order with fixed latency" [ 1; 2; 3; 4 ]
+    (List.rev !received)
+
+let test_network_jitter_reorders () =
+  (* With jitter, some seed delivers two back-to-back messages out of
+     order — the property Figure 1's network configurations exploit. *)
+  let reordered = ref false in
+  let seed = ref 0 in
+  while (not !reordered) && !seed < 100 do
+    incr seed;
+    let engine = Engine.create () in
+    let rng = Rng.make !seed in
+    let net = Net.create ~engine ~latency:(L.jittered rng ~base:1 ~jitter:10) () in
+    let received = ref [] in
+    Net.connect net ~node:1 (fun msg -> received := msg :: !received);
+    Net.send net ~src:0 ~dst:1 "first";
+    Net.send net ~src:0 ~dst:1 "second";
+    ignore (Engine.run engine);
+    if List.rev !received = [ "second"; "first" ] then reordered := true
+  done;
+  check "some seed reorders" true !reordered
+
+let test_network_min_latency_one () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~latency:(L.fixed 0) () in
+  let at = ref (-1) in
+  Net.connect net ~node:1 (fun () -> at := Engine.now engine);
+  Net.send net ~src:0 ~dst:1 ();
+  ignore (Engine.run engine);
+  check_int "latency clamped to 1" 1 !at
+
+let test_bus_serializes () =
+  let engine = Engine.create () in
+  let bus = Bus.create ~engine ~transfer_cycles:3 () in
+  let times = ref [] in
+  Bus.connect bus ~node:1 (fun m -> times := (m, Engine.now engine) :: !times);
+  Bus.connect bus ~node:2 (fun m -> times := (m, Engine.now engine) :: !times);
+  Bus.send bus ~src:0 ~dst:1 "a";
+  Bus.send bus ~src:0 ~dst:2 "b";
+  Bus.send bus ~src:3 ~dst:1 "c";
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair string int)))
+    "one transfer per slot, in request order"
+    [ ("a", 3); ("b", 6); ("c", 9) ]
+    (List.rev !times);
+  check "idle afterwards" false (Bus.busy bus);
+  check_int "counted" 3 (Bus.messages_sent bus)
+
+let test_bus_restarts_after_idle () =
+  let engine = Engine.create () in
+  let bus = Bus.create ~engine ~transfer_cycles:2 () in
+  let got = ref 0 in
+  Bus.connect bus ~node:1 (fun () -> incr got);
+  Bus.send bus ~src:0 ~dst:1 ();
+  ignore (Engine.run engine);
+  Bus.send bus ~src:0 ~dst:1 ();
+  ignore (Engine.run engine);
+  check_int "both delivered" 2 !got
+
+let test_fabric_wrappers () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~latency:(L.fixed 2) () in
+  let f = F.of_network net in
+  let got = ref false in
+  f.F.connect ~node:4 (function "m" -> got := true | _ -> ());
+  f.F.send ~src:0 ~dst:4 "m";
+  ignore (Engine.run engine);
+  check "delivered through fabric" true !got;
+  check_int "sent count" 1 (f.F.messages_sent ())
+
+let test_unconnected_node_error () =
+  let engine = Engine.create () in
+  let net = Net.create ~engine ~latency:(L.fixed 1) () in
+  Net.send net ~src:0 ~dst:9 "x";
+  check "delivery to unconnected node raises" true
+    (try
+       ignore (Engine.run engine);
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "fixed latency" `Quick test_latency_fixed;
+    Alcotest.test_case "jittered range" `Quick test_latency_jittered_range;
+    Alcotest.test_case "scale_nodes" `Quick test_latency_scale_nodes;
+    Alcotest.test_case "scale_routes" `Quick test_latency_scale_routes;
+    Alcotest.test_case "network delivery" `Quick test_network_delivery;
+    Alcotest.test_case "fixed latency keeps FIFO" `Quick
+      test_network_fixed_is_fifo;
+    Alcotest.test_case "jitter reorders" `Quick test_network_jitter_reorders;
+    Alcotest.test_case "minimum latency" `Quick test_network_min_latency_one;
+    Alcotest.test_case "bus serializes" `Quick test_bus_serializes;
+    Alcotest.test_case "bus restarts" `Quick test_bus_restarts_after_idle;
+    Alcotest.test_case "fabric wrappers" `Quick test_fabric_wrappers;
+    Alcotest.test_case "unconnected node" `Quick test_unconnected_node_error;
+  ]

@@ -1,0 +1,29 @@
+(* The full test suite: one section per library (see DESIGN.md).
+   `dune runtest` runs everything, including the `Slow-marked machine
+   matrix tests. *)
+
+let () =
+  Alcotest.run "weak-ordering"
+    [
+      ("relation", Test_relation.tests);
+      ("event", Test_event.tests);
+      ("execution", Test_execution.tests);
+      ("happens-before", Test_happens_before.tests);
+      ("drf0", Test_drf0.tests);
+      ("sc", Test_sc.tests);
+      ("lemma1", Test_lemma1.tests);
+      ("prog", Test_prog.tests);
+      ("enumerate", Test_enumerate.tests);
+      ("sim", Test_sim.tests);
+      ("interconnect", Test_interconnect.tests);
+      ("cache", Test_cache.tests);
+      ("race", Test_race.tests);
+      ("machines", Test_machines.tests);
+      ("litmus", Test_litmus.tests);
+      ("workload", Test_workload.tests);
+      ("delay-set", Test_delay_set.tests);
+      ("parse", Test_parse.tests);
+      ("lockset", Test_lockset.tests);
+      ("cross-check", Test_cross_check.tests);
+      ("report", Test_report.tests);
+    ]

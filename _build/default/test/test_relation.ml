@@ -1,0 +1,171 @@
+(* Tests for Wo_core.Relation: the relational substrate under
+   happens-before. *)
+
+module R = Wo_core.Relation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let chain = R.of_list [ (1, 2); (2, 3); (3, 4) ]
+let diamond = R.of_list [ (1, 2); (1, 3); (2, 4); (3, 4) ]
+let cycle = R.of_list [ (1, 2); (2, 3); (3, 1) ]
+
+let test_empty () =
+  check "empty has no pairs" true (R.is_empty R.empty);
+  check_int "cardinal" 0 (R.cardinal R.empty);
+  check "acyclic" true (R.is_acyclic R.empty);
+  check "irreflexive" true (R.is_irreflexive R.empty);
+  check "transitive" true (R.is_transitive R.empty)
+
+let test_add_mem () =
+  let r = R.add 1 2 R.empty in
+  check "mem added" true (R.mem 1 2 r);
+  check "not mem reverse" false (R.mem 2 1 r);
+  check "not mem absent" false (R.mem 1 3 r);
+  check_int "cardinal" 1 (R.cardinal r);
+  let r2 = R.add 1 2 r in
+  check_int "add is idempotent" 1 (R.cardinal r2)
+
+let test_of_list_pairs () =
+  Alcotest.(check (list (pair int int)))
+    "pairs sorted"
+    [ (1, 2); (2, 3); (3, 4) ]
+    (R.pairs chain)
+
+let test_union () =
+  let u = R.union chain (R.of_list [ (4, 5) ]) in
+  check "left pair" true (R.mem 1 2 u);
+  check "right pair" true (R.mem 4 5 u);
+  check_int "cardinal" 4 (R.cardinal u)
+
+let test_successors_nodes () =
+  Alcotest.(check (list int)) "successors" [ 2; 3 ] (R.successors 1 diamond);
+  Alcotest.(check (list int)) "nodes" [ 1; 2; 3; 4 ] (R.nodes diamond);
+  Alcotest.(check (list int)) "no successors" [] (R.successors 4 diamond)
+
+let test_transitive_closure_chain () =
+  let tc = R.transitive_closure chain in
+  check "1->4 in closure" true (R.mem 1 4 tc);
+  check "1->3 in closure" true (R.mem 1 3 tc);
+  check "no reverse" false (R.mem 4 1 tc);
+  check_int "cardinal 3+2+1" 6 (R.cardinal tc);
+  check "closure transitive" true (R.is_transitive tc)
+
+let test_transitive_closure_cycle () =
+  let tc = R.transitive_closure cycle in
+  check "cycle closure reflexive" false (R.is_irreflexive tc);
+  check "1->1" true (R.mem 1 1 tc)
+
+let test_reachable () =
+  Alcotest.(check (list int)) "reachable from 1" [ 2; 3; 4 ]
+    (R.reachable 1 diamond);
+  Alcotest.(check (list int)) "reachable from 4" [] (R.reachable 4 diamond)
+
+let test_acyclicity () =
+  check "chain acyclic" true (R.is_acyclic chain);
+  check "diamond acyclic" true (R.is_acyclic diamond);
+  check "cycle cyclic" false (R.is_acyclic cycle);
+  check "self loop cyclic" false (R.is_acyclic (R.of_list [ (1, 1) ]))
+
+let test_restrict () =
+  let r = R.restrict ~keep:(fun n -> n <> 3) diamond in
+  check "kept" true (R.mem 1 2 r);
+  check "dropped src" false (R.mem 3 4 r);
+  check "dropped dst" false (R.mem 1 3 r)
+
+let test_topological_sort () =
+  (match R.topological_sort ~nodes:[ 1; 2; 3; 4 ] chain with
+  | Some order -> Alcotest.(check (list int)) "chain order" [ 1; 2; 3; 4 ] order
+  | None -> Alcotest.fail "chain should sort");
+  (match R.topological_sort ~nodes:[ 1; 2; 3 ] cycle with
+  | Some _ -> Alcotest.fail "cycle should not sort"
+  | None -> ());
+  (* deterministic tie-break: ascending ids *)
+  match R.topological_sort ~nodes:[ 3; 1; 2 ] R.empty with
+  | Some order -> Alcotest.(check (list int)) "tie-break" [ 1; 2; 3 ] order
+  | None -> Alcotest.fail "unconstrained should sort"
+
+let test_linearizations () =
+  check_int "antichain of 3 has 6 linearizations" 6
+    (List.length (R.linearizations ~nodes:[ 1; 2; 3 ] R.empty));
+  check_int "chain has 1" 1
+    (List.length (R.linearizations ~nodes:[ 1; 2; 3; 4 ] chain));
+  check_int "diamond has 2" 2
+    (List.length (R.linearizations ~nodes:[ 1; 2; 3; 4 ] diamond));
+  check_int "cycle has none" 0
+    (List.length (R.linearizations ~nodes:[ 1; 2; 3 ] cycle));
+  check_int "limit respected" 2
+    (List.length (R.linearizations ~limit:2 ~nodes:[ 1; 2; 3 ] R.empty))
+
+let test_consistent () =
+  check "chain consistent with extension" true
+    (R.consistent chain (R.of_list [ (1, 4) ]));
+  check "inconsistent with reversal" false
+    (R.consistent chain (R.of_list [ (4, 1) ]))
+
+(* --- properties ------------------------------------------------------------ *)
+
+let arbitrary_relation =
+  QCheck.(
+    map
+      (fun pairs -> R.of_list pairs)
+      (list_of_size Gen.(0 -- 12) (pair (0 -- 7) (0 -- 7))))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"transitive closure is idempotent" ~count:200
+    arbitrary_relation (fun r ->
+      let tc = R.transitive_closure r in
+      R.equal tc (R.transitive_closure tc))
+
+let prop_closure_transitive =
+  QCheck.Test.make ~name:"transitive closure is transitive" ~count:200
+    arbitrary_relation (fun r -> R.is_transitive (R.transitive_closure r))
+
+let prop_closure_contains =
+  QCheck.Test.make ~name:"closure contains the relation" ~count:200
+    arbitrary_relation (fun r ->
+      List.for_all (fun (a, b) -> R.mem a b (R.transitive_closure r)) (R.pairs r))
+
+let prop_topo_respects_pairs =
+  QCheck.Test.make ~name:"topological sort respects every pair" ~count:200
+    arbitrary_relation (fun r ->
+      let nodes = R.nodes r in
+      match R.topological_sort ~nodes r with
+      | None -> not (R.is_acyclic r)
+      | Some order ->
+        let index n =
+          let rec go i = function
+            | [] -> -1
+            | x :: rest -> if x = n then i else go (i + 1) rest
+          in
+          go 0 order
+        in
+        List.for_all (fun (a, b) -> index a < index b) (R.pairs r))
+
+let prop_acyclic_iff_topo =
+  QCheck.Test.make ~name:"acyclic iff sortable" ~count:200 arbitrary_relation
+    (fun r ->
+      let sortable = R.topological_sort ~nodes:(R.nodes r) r <> None in
+      sortable = R.is_acyclic r)
+
+let tests =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add and mem" `Quick test_add_mem;
+    Alcotest.test_case "of_list / pairs" `Quick test_of_list_pairs;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "successors and nodes" `Quick test_successors_nodes;
+    Alcotest.test_case "closure of a chain" `Quick test_transitive_closure_chain;
+    Alcotest.test_case "closure of a cycle" `Quick test_transitive_closure_cycle;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "topological sort" `Quick test_topological_sort;
+    Alcotest.test_case "linearizations" `Quick test_linearizations;
+    Alcotest.test_case "consistent" `Quick test_consistent;
+    QCheck_alcotest.to_alcotest prop_closure_idempotent;
+    QCheck_alcotest.to_alcotest prop_closure_transitive;
+    QCheck_alcotest.to_alcotest prop_closure_contains;
+    QCheck_alcotest.to_alcotest prop_topo_respects_pairs;
+    QCheck_alcotest.to_alcotest prop_acyclic_iff_topo;
+  ]

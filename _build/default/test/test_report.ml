@@ -1,0 +1,42 @@
+(* Tests for the table renderer. *)
+
+module T = Wo_report.Table
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_render_basic () =
+  let s = T.render ~headers:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + separator + rows" 4 (List.length lines);
+  check_string "header padded" "a    bb" (List.nth lines 0);
+  check_string "separator" "---  --" (List.nth lines 1);
+  check_string "first row" "1    2 " (List.nth lines 2);
+  check_string "wide cell grows the column" "333  4 " (List.nth lines 3)
+
+let test_render_alignment () =
+  let s =
+    T.render ~align:[ T.L; T.R ] ~headers:[ "n"; "v" ] [ [ "x"; "10" ]; [ "y"; "5" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  check_string "right aligned" "y   5" (List.nth lines 3)
+
+let test_render_missing_cells () =
+  let s = T.render ~headers:[ "a"; "b"; "c" ] [ [ "1" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check "short rows pad with blanks" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 0))
+
+let test_render_extra_columns () =
+  (* a row longer than the header grows the table *)
+  let s = T.render ~headers:[ "a" ] [ [ "1"; "2" ] ] in
+  check "no exception, both cells present" true
+    (String.length s > 0 && String.contains s '2')
+
+let tests =
+  [
+    Alcotest.test_case "basic rendering" `Quick test_render_basic;
+    Alcotest.test_case "alignment" `Quick test_render_alignment;
+    Alcotest.test_case "missing cells" `Quick test_render_missing_cells;
+    Alcotest.test_case "extra columns" `Quick test_render_extra_columns;
+  ]

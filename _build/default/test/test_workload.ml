@@ -1,0 +1,82 @@
+(* Tests for the workload generators: invariants on the reference
+   interpreter, race-freedom by sampling, and validator behaviour. *)
+
+module W = Wo_workload.Workload
+module In = Wo_prog.Interp
+module D = Wo_race.Detector
+
+let check = Alcotest.(check bool)
+
+let validate_on_ideal (w : W.t) seed =
+  let o = In.outcome (In.run_random ~seed w.W.program) in
+  w.W.validate o
+
+let test_all_validate_on_ideal () =
+  List.iter
+    (fun (w : W.t) ->
+      for seed = 1 to 10 do
+        match validate_on_ideal w seed with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.fail (Printf.sprintf "%s seed %d: %s" w.W.name seed e)
+      done)
+    W.all
+
+let test_all_race_free_by_sampling () =
+  List.iter
+    (fun (w : W.t) ->
+      let races =
+        D.sample_program ~schedules:10
+          ~run:(fun ~seed ->
+            In.execution (In.run_random ~seed w.W.program))
+          ()
+      in
+      check (w.W.name ^ " race-free") true (races = []))
+    W.all
+
+let test_parameterized_instances () =
+  let cases =
+    [
+      W.critical_section ~procs:2 ~sections:2 ~work:1 ();
+      W.critical_section ~procs:3 ~sections:2 ~use_ttas:true ();
+      W.spin_barrier ~procs:2 ~rounds:2 ~work:1 ();
+      W.spin_barrier ~procs:5 ~rounds:1 ~work:0 ();
+      W.producer_consumer ~items:2 ~work:0 ();
+      W.producer_consumer ~items:3 ~batch:4 ();
+      W.sharded_counter ~procs:2 ~increments:3 ();
+    ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      match validate_on_ideal w 7 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (w.W.program.Wo_prog.Program.name ^ ": " ^ e))
+    cases
+
+let test_validator_rejects_wrong_outcomes () =
+  let w = W.critical_section ~procs:2 ~sections:2 () in
+  let bad = Wo_prog.Outcome.make ~registers:[] ~memory:[ (1, 3) ] in
+  check "wrong counter rejected" true (w.W.validate bad <> Ok ());
+  let missing = Wo_prog.Outcome.make ~registers:[] ~memory:[] in
+  check "missing location rejected" true (w.W.validate missing <> Ok ())
+
+let test_workload_programs_have_loops () =
+  (* every workload synchronizes by spinning somewhere *)
+  List.iter
+    (fun (w : W.t) ->
+      check (w.W.name ^ " spins") true
+        (Wo_prog.Program.has_loops w.W.program))
+    W.all
+
+let tests =
+  [
+    Alcotest.test_case "validate on the idealized machine" `Quick
+      test_all_validate_on_ideal;
+    Alcotest.test_case "race-free by sampling" `Quick
+      test_all_race_free_by_sampling;
+    Alcotest.test_case "parameterized instances" `Quick
+      test_parameterized_instances;
+    Alcotest.test_case "validator rejects bad outcomes" `Quick
+      test_validator_rejects_wrong_outcomes;
+    Alcotest.test_case "workloads spin" `Quick test_workload_programs_have_loops;
+  ]
