@@ -22,7 +22,9 @@ let racy_row (machine : M.t) =
   let programs_violating = ref 0 in
   for pseed = 1 to racy_programs do
     let program = Wo_litmus.Random_prog.racy ~seed:pseed () in
-    let sc = Wo_prog.Enumerate.outcomes program in
+    (* The SC outcome set quantifies over all interleavings: enumerate with
+       partial-order reduction, fanned out across the host's domains. *)
+    let sc, _stats = Wo_prog.Enumerate.outcomes_par program in
     let observed =
       List.init racy_runs_each (fun i ->
           (M.run machine ~seed:(i + 1) program).M.outcome)

@@ -1,0 +1,274 @@
+(* Experiment E9 — enumerator throughput.
+
+   The exhaustive interleaving enumerator is the hot path behind the DRF0
+   quantifier (Definition 3) and every SC outcome set; this experiment
+   measures what the layered optimizations buy:
+
+   - partial-order reduction (sleep sets over a per-step independence test)
+     vs. the naive oracle: search-tree states explored, executions
+     enumerated, wall time — with outcome-set equality asserted;
+   - multicore fan-out: outcomes_par throughput across domain counts.
+
+   Programs are the Figure-1 / Dekker litmus shapes, optionally padded with
+   per-processor private writes (independent work, the paper's "local
+   computation" between the contended accesses), plus a fully contended
+   program that gives the parallel fan-out real work POR cannot remove.
+
+   Results go to stdout and BENCH_enum.json (the perf trajectory for later
+   PRs). *)
+
+module I = Wo_prog.Instr
+module P = Wo_prog.Program
+module En = Wo_prog.Enumerate
+module L = Wo_litmus.Litmus
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(* [base] with [k] private writes prepended on each thread: independent
+   steps the reduced enumerator should never branch on. *)
+let padded (t : L.t) k =
+  let program = t.L.program in
+  let threads =
+    Array.to_list program.P.threads
+    |> List.mapi (fun i code ->
+           List.init k (fun j -> I.Write (100 + i, I.Const j)) @ code)
+  in
+  P.make
+    ~name:(Printf.sprintf "%s+%d" program.P.name k)
+    ~initial:program.P.initial
+    ?observable:program.P.observable threads
+
+(* Every access contends on one location, so POR prunes nothing and the
+   domains split genuinely irreducible work. *)
+let contended ~procs ~ops =
+  P.make
+    ~name:(Printf.sprintf "contended-%dx%d" procs ops)
+    (List.init procs (fun p ->
+         List.init ops (fun j -> I.Write (0, I.Const ((10 * p) + j)))))
+
+type seq_row = {
+  program_name : string;
+  naive_stats : En.stats;
+  naive_seconds : float;
+  por_stats : En.stats;
+  por_seconds : float;
+  outcomes_equal : bool;
+  distinct_outcomes : int;
+}
+
+let seq_measure program =
+  let (naive_outs, naive_stats), naive_seconds =
+    time (fun () -> En.outcomes_with_stats ~strategy:En.Naive program)
+  in
+  let (por_outs, por_stats), por_seconds =
+    time (fun () -> En.outcomes_with_stats ~strategy:En.Por program)
+  in
+  {
+    program_name = program.P.name;
+    naive_stats;
+    naive_seconds;
+    por_stats;
+    por_seconds;
+    outcomes_equal =
+      List.length naive_outs = List.length por_outs
+      && List.for_all2 Wo_prog.Outcome.equal naive_outs por_outs;
+    distinct_outcomes = List.length por_outs;
+  }
+
+type par_row = {
+  par_program : string;
+  par_strategy : string;
+  domains : int;
+  par_seconds : float;
+  par_stats : En.stats;
+}
+
+let par_measure ~strategy ~strategy_name ~domains program =
+  let (_, par_stats), par_seconds =
+    time (fun () -> En.outcomes_par ~strategy ~domains program)
+  in
+  {
+    par_program = program.P.name;
+    par_strategy = strategy_name;
+    domains;
+    par_seconds;
+    par_stats;
+  }
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let per_sec n seconds = if seconds <= 0.0 then 0.0 else float_of_int n /. seconds
+
+let json_of_rows seq_rows par_rows =
+  let b = Buffer.create 4096 in
+  let stats_json (s : En.stats) seconds =
+    Printf.sprintf
+      "{\"executions\": %d, \"states\": %d, \"truncated\": %b, \"seconds\": \
+       %.6f, \"executions_per_sec\": %.1f}"
+      s.En.executions s.En.states s.En.truncated seconds
+      (per_sec s.En.executions seconds)
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"experiment\": \"e9\",\n  \"recommended_domains\": %d,\n\
+       \  \"sequential\": [\n"
+       (Domain.recommended_domain_count ()));
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"program\": %S, \"naive\": %s, \"por\": %s, \
+            \"state_reduction\": %.2f, \"speedup\": %.2f, \
+            \"outcomes_equal\": %b, \"distinct_outcomes\": %d}"
+           r.program_name
+           (stats_json r.naive_stats r.naive_seconds)
+           (stats_json r.por_stats r.por_seconds)
+           (ratio r.naive_stats.En.states r.por_stats.En.states)
+           (if r.por_seconds <= 0.0 then 0.0
+            else r.naive_seconds /. r.por_seconds)
+           r.outcomes_equal r.distinct_outcomes))
+    seq_rows;
+  Buffer.add_string b "\n  ],\n  \"parallel\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"program\": %S, \"strategy\": %S, \"domains\": %d, %s}"
+           r.par_program r.par_strategy r.domains
+           (let s = stats_json r.par_stats r.par_seconds in
+            (* inline the stats object's fields *)
+            String.sub s 1 (String.length s - 2))))
+    par_rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let run () =
+  Wo_report.Table.heading
+    "E9 / enumerator throughput — partial-order reduction and multicore";
+  Wo_report.Table.subheading
+    "sequential: sleep-set POR vs. the naive oracle (same outcome sets)";
+  print_newline ();
+  let seq_programs =
+    [
+      L.figure1.L.program;
+      padded L.figure1 3;
+      padded L.figure1 6;
+      L.dekker_sync.L.program;
+      padded L.dekker_sync 3;
+      padded L.dekker_sync 6;
+      L.message_passing.L.program;
+      padded L.message_passing 5;
+    ]
+  in
+  let seq_rows = List.map seq_measure seq_programs in
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R; R; R; R; L ]
+    ~headers:
+      [
+        "program";
+        "naive states";
+        "POR states";
+        "reduction";
+        "naive execs";
+        "POR execs";
+        "POR exec/s";
+        "same outcomes";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.program_name;
+           string_of_int r.naive_stats.En.states;
+           string_of_int r.por_stats.En.states;
+           Printf.sprintf "%.1fx"
+             (ratio r.naive_stats.En.states r.por_stats.En.states);
+           string_of_int r.naive_stats.En.executions;
+           string_of_int r.por_stats.En.executions;
+           Printf.sprintf "%.0f"
+             (per_sec r.por_stats.En.executions r.por_seconds);
+           (if r.outcomes_equal then "yes" else "NO");
+         ])
+       seq_rows);
+  let family =
+    List.filter
+      (fun r ->
+        String.length r.program_name >= 6
+        && (String.sub r.program_name 0 6 = "figure"
+           || String.sub r.program_name 0 6 = "dekker"))
+      seq_rows
+  in
+  let fam_naive =
+    List.fold_left (fun n r -> n + r.naive_stats.En.states) 0 family
+  in
+  let fam_por =
+    List.fold_left (fun n r -> n + r.por_stats.En.states) 0 family
+  in
+  Printf.printf
+    "\nFigure-1/Dekker family: POR explores %.1fx fewer states than the \
+     naive enumerator (%d vs %d), outcome sets identical: %b\n"
+    (ratio fam_naive fam_por) fam_naive fam_por
+    (List.for_all (fun r -> r.outcomes_equal) family);
+  print_newline ();
+  Wo_report.Table.subheading
+    "parallel: outcomes_par across domain counts (executions/sec)";
+  print_newline ();
+  Printf.printf "host parallelism: %d recommended domain(s)\n\n"
+    (Domain.recommended_domain_count ());
+  let par_programs =
+    [
+      (contended ~procs:3 ~ops:4, En.Naive, "naive");
+      (padded L.figure1 6, En.Naive, "naive");
+      (padded L.dekker_sync 6, En.Por, "por");
+    ]
+  in
+  let domain_counts =
+    let rec dedup = function
+      | a :: (b :: _ as rest) when a = b -> dedup rest
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    dedup (List.sort compare [ 1; 2; 4; Domain.recommended_domain_count () ])
+  in
+  let par_rows =
+    List.concat_map
+      (fun (program, strategy, strategy_name) ->
+        List.map
+          (fun domains ->
+            par_measure ~strategy ~strategy_name ~domains program)
+          domain_counts)
+      par_programs
+  in
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; L; R; R; R; R ]
+    ~headers:
+      [ "program"; "strategy"; "domains"; "seconds"; "execs"; "exec/s" ]
+    (List.map
+       (fun r ->
+         [
+           r.par_program;
+           r.par_strategy;
+           string_of_int r.domains;
+           Printf.sprintf "%.3f" r.par_seconds;
+           string_of_int r.par_stats.En.executions;
+           Printf.sprintf "%.0f" (per_sec r.par_stats.En.executions r.par_seconds);
+         ])
+       par_rows);
+  let json = json_of_rows seq_rows par_rows in
+  let oc = open_out "BENCH_enum.json" in
+  output_string oc json;
+  close_out oc;
+  print_newline ();
+  print_endline "wrote BENCH_enum.json";
+  print_endline
+    "Expected: POR explores the same outcome sets with far fewer states on\n\
+     programs with independent work (>=5x on the padded Figure-1/Dekker\n\
+     family); fully contended programs show no reduction but split across\n\
+     domains (throughput scales only with real cores — on a single-core\n\
+     host the extra domains cost stop-the-world synchronization)."

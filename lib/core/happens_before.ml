@@ -1,6 +1,14 @@
-type t = Relation.t
+(* Happens-before is queried O(n^2) times per execution by the race check,
+   so the closed relation is kept in the dense bitset representation: the
+   closure is one Warshall sweep and [ordered] is a bit test.  The sparse
+   view is materialized lazily for the few callers that want edge lists. *)
+type t = { dense : Relation.Dense.m; rel : Relation.t Lazy.t }
 
-let of_relations ~po ~so = Relation.transitive_closure (Relation.union po so)
+let of_relations ~po ~so =
+  let dense =
+    Relation.Dense.(transitive_closure (of_sparse (Relation.union po so)))
+  in
+  { dense; rel = lazy (Relation.Dense.to_sparse dense) }
 
 let of_execution exn =
   of_relations ~po:(Execution.program_order exn) ~so:(Execution.sync_order exn)
@@ -48,12 +56,14 @@ let drf1_sync_order exn =
 let of_execution_drf1 exn =
   of_relations ~po:(Execution.program_order exn) ~so:(drf1_sync_order exn)
 
-let ordered hb a b = Relation.mem a b hb
+let ordered hb a b = Relation.Dense.mem a b hb.dense
 let orders hb a b = ordered hb a b || ordered hb b a
-let relation hb = hb
+let relation hb = Lazy.force hb.rel
 
 let is_partial_order hb =
-  Relation.is_irreflexive hb && Relation.is_transitive hb
+  (* The stored relation is a transitive closure by construction, so
+     transitivity holds; a cyclic po/so union shows up as a reflexive pair. *)
+  Relation.Dense.is_irreflexive hb.dense
 
 let last_write_before hb ~events (r : Event.t) =
   let candidates =

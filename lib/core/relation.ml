@@ -28,7 +28,13 @@ let pairs r =
     r.succ []
   |> List.sort compare
 
-let union a b = List.fold_left (fun r (x, y) -> add x y r) a (pairs b)
+let union a b =
+  (* Direct map merge; building via [pairs] would allocate and re-sort an
+     intermediate list per call, and union is on the happens-before path. *)
+  {
+    succ = Int_map.union (fun _ s1 s2 -> Some (Int_set.union s1 s2)) a.succ b.succ;
+    universe = Int_set.union a.universe b.universe;
+  }
 
 let successors a r =
   match Int_map.find_opt a r.succ with
@@ -58,11 +64,130 @@ let reachable_set start r =
 
 let reachable start r = Int_set.elements (reachable_set start r)
 
+(* Dense bitset representation: one row of bits per node, 64-bit words packed
+   in a single Bytes buffer.  Arbitrary node ids are index-compressed, so the
+   footprint is n^2 bits for n distinct nodes regardless of id span.  All
+   whole-row operations (Warshall's union step) run a word at a time. *)
+module Dense = struct
+  type m = {
+    n : int;
+    words : int; (* 64-bit words per row *)
+    bits : Bytes.t; (* n rows, row-major *)
+    ids : int array; (* index -> original node id, ascending *)
+    index : (int, int) Hashtbl.t; (* original node id -> index *)
+  }
+
+  let size m = m.n
+
+  let create_like ids index n =
+    let words = (n + 63) / 64 in
+    { n; words; bits = Bytes.make (n * words * 8) '\000'; ids; index }
+
+  let row_off m i = i * m.words * 8
+
+  let set_bit m i j =
+    let off = row_off m i + (j lsr 6) * 8 in
+    let w = Bytes.get_int64_ne m.bits off in
+    Bytes.set_int64_ne m.bits off
+      (Int64.logor w (Int64.shift_left 1L (j land 63)))
+
+  let get_bit m i j =
+    let w = Bytes.get_int64_ne m.bits (row_off m i + (j lsr 6) * 8) in
+    Int64.logand (Int64.shift_right_logical w (j land 63)) 1L <> 0L
+
+  (* row i |= row k, one word at a time *)
+  let or_row m i k =
+    let oi = row_off m i and ok = row_off m k in
+    for w = 0 to m.words - 1 do
+      let b = w * 8 in
+      let wi = Bytes.get_int64_ne m.bits (oi + b) in
+      let wk = Bytes.get_int64_ne m.bits (ok + b) in
+      let u = Int64.logor wi wk in
+      if u <> wi then Bytes.set_int64_ne m.bits (oi + b) u
+    done
+
+  let of_sparse r =
+    let n = Int_set.cardinal r.universe in
+    let ids = Array.make n 0 in
+    let index = Hashtbl.create (2 * n + 1) in
+    let i = ref 0 in
+    Int_set.iter
+      (fun id ->
+        ids.(!i) <- id;
+        Hashtbl.replace index id !i;
+        incr i)
+      r.universe;
+    let m = create_like ids index n in
+    Int_map.iter
+      (fun a s ->
+        let ia = Hashtbl.find index a in
+        Int_set.iter (fun b -> set_bit m ia (Hashtbl.find index b)) s)
+      r.succ;
+    m
+
+  let to_sparse m =
+    let succ = ref Int_map.empty in
+    for i = 0 to m.n - 1 do
+      let s = ref Int_set.empty in
+      for j = 0 to m.n - 1 do
+        if get_bit m i j then s := Int_set.add m.ids.(j) !s
+      done;
+      if not (Int_set.is_empty !s) then
+        succ := Int_map.add m.ids.(i) !s !succ
+    done;
+    { succ = !succ; universe = Int_set.of_list (Array.to_list m.ids) }
+
+  let mem a b m =
+    match (Hashtbl.find_opt m.index a, Hashtbl.find_opt m.index b) with
+    | Some i, Some j -> get_bit m i j
+    | _ -> false
+
+  let copy m = { m with bits = Bytes.copy m.bits }
+
+  (* Warshall with bitset rows: closure in O(n^3 / 64) word operations. *)
+  let transitive_closure m =
+    let c = copy m in
+    for k = 0 to c.n - 1 do
+      for i = 0 to c.n - 1 do
+        if get_bit c i k then or_row c i k
+      done
+    done;
+    c
+
+  let is_irreflexive m =
+    let ok = ref true in
+    for i = 0 to m.n - 1 do
+      if get_bit m i i then ok := false
+    done;
+    !ok
+
+  (* A relation is acyclic iff no node reaches itself in its closure. *)
+  let is_acyclic m = is_irreflexive (transitive_closure m)
+
+  let reachable a m =
+    match Hashtbl.find_opt m.index a with
+    | None -> []
+    | Some i ->
+      let c = transitive_closure m in
+      let out = ref [] in
+      for j = m.n - 1 downto 0 do
+        if get_bit c i j then out := m.ids.(j) :: !out
+      done;
+      !out
+end
+
+(* Below this node count the map-based DFS closure wins on constant factors
+   and allocation; above it the Warshall bitset sweep dominates. *)
+let dense_threshold = 32
+
 let transitive_closure r =
-  Int_set.fold
-    (fun a acc ->
-      Int_set.fold (fun b acc -> add a b acc) (reachable_set a r) acc)
-    r.universe empty
+  if Int_set.cardinal r.universe >= dense_threshold then
+    Dense.(to_sparse (transitive_closure (of_sparse r)))
+  else
+    Int_set.fold
+      (fun a acc ->
+        Int_set.fold (fun b acc -> add a b acc) (reachable_set a r) acc)
+      r.universe empty
 
 let is_irreflexive r =
   not (Int_map.exists (fun a s -> Int_set.mem a s) r.succ)

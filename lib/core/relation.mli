@@ -37,7 +37,44 @@ val is_empty : t -> bool
 val transitive_closure : t -> t
 (** Irreflexive transitive closure is [transitive_closure] of an
     irreflexive relation; note the closure of a cyclic relation contains
-    reflexive pairs. *)
+    reflexive pairs.  Dispatches to the {!Dense} bitset representation when
+    the node universe is large enough to amortize the conversion. *)
+
+(** Dense bitset-backed relations: one row of bits per node, packed into
+    64-bit words, with arbitrary node ids index-compressed.  Transitive
+    closure is Warshall's algorithm with word-level row unions —
+    O(n{^3}/64) word operations instead of the sparse DFS-per-node — and
+    membership is a single bit test.  This is the representation behind
+    {!Happens_before.t} on the DRF0 hot path; convert with {!Dense.of_sparse}
+    when the event universe is dense and query in place. *)
+module Dense : sig
+  type m
+
+  val of_sparse : t -> m
+  (** Index-compress a sparse relation.  O(nodes + pairs). *)
+
+  val to_sparse : m -> t
+  (** Back to the sparse representation; the universe is preserved. *)
+
+  val size : m -> int
+  (** Number of distinct nodes. *)
+
+  val mem : int -> int -> m -> bool
+  (** [mem a b m] in O(1) (two index lookups and a bit test).  Nodes
+      outside the universe are related to nothing. *)
+
+  val transitive_closure : m -> m
+  (** Warshall on bitset rows; same semantics as the sparse
+      {!val:transitive_closure} (paths of length >= 1). *)
+
+  val is_acyclic : m -> bool
+  (** No node reaches itself in the closure. *)
+
+  val is_irreflexive : m -> bool
+
+  val reachable : int -> m -> int list
+  (** Sorted nodes reachable in one or more steps. *)
+end
 
 val reachable : int -> t -> int list
 (** Nodes reachable from the given node in one or more steps. *)

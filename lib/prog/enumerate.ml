@@ -1,6 +1,8 @@
 exception Limit_exceeded
 
-type stats = { executions : int; truncated : bool }
+type strategy = Naive | Por
+
+type stats = { executions : int; states : int; truncated : bool }
 
 (* Advance every processor that can finish without another memory access;
    such steps commute with everything, so they are not branch points and
@@ -15,69 +17,284 @@ let rec drain_silent state =
   in
   match silent with None -> state | Some state' -> drain_silent state'
 
-let executions ?(max_events = 64) ?(max_executions = 1_000_000) program =
+(* Two pending steps of different processors commute unless they conflict:
+   same location with a write component, or either is a synchronization
+   operation (synchronization order is observable through happens-before,
+   so sync steps are conservatively dependent on everything). *)
+let dependent (a : Interp.access) (b : Interp.access) =
+  a.Interp.sync || b.Interp.sync
+  || (a.Interp.loc = b.Interp.loc && (a.Interp.writes || b.Interp.writes))
+
+(* Children of a drained, non-final node, with the sleep set each child
+   inherits.  [sleep] lists processors whose pending step is already covered
+   by a sibling subtree elsewhere in the search; exploring them here would
+   only revisit Mazurkiewicz-equivalent interleavings.
+
+   Sleep-set discipline (Godefroid): iterate awake processors in ascending
+   order; the child for processor [p] sleeps on every processor of
+   [sleep ∪ done-before-p] whose pending step is independent of [p]'s step.
+   Pending accesses are stable under other processors' steps (locations are
+   static), so sleep entries stay valid until the sleeper itself runs —
+   which, while it sleeps, it never does. *)
+let children_of ~strategy state sleep =
+  let procs = Interp.runnable state in
+  match procs with
+  | [] -> None (* complete execution *)
+  | _ ->
+    Some
+      (match strategy with
+      | Naive -> List.map (fun p -> (fst (Interp.step state p), [])) procs
+      | Por ->
+        (* After [drain_silent] every runnable processor has a pending
+           memory operation, so [peek] cannot return [None]. *)
+        let pending =
+          List.map (fun p -> (p, Option.get (Interp.peek state p))) procs
+        in
+        let sleep = List.filter (fun q -> List.mem_assoc q pending) sleep in
+        let rec expand sleep_now acc = function
+          | [] -> List.rev acc
+          | (p, ap) :: rest ->
+            if List.mem p sleep then expand sleep_now acc rest
+            else
+              let child_sleep =
+                List.filter
+                  (fun q -> not (dependent ap (List.assoc q pending)))
+                  sleep_now
+              in
+              expand (p :: sleep_now)
+                ((fst (Interp.step state p), child_sleep) :: acc)
+                rest
+        in
+        expand sleep [] pending)
+
+(* Lazy depth-first enumeration of complete executions from an explicit
+   root; shared by the naive oracle, the reduced enumerator, and the
+   per-domain workers of the parallel DRF0 checker. *)
+let execution_seq ~strategy ~max_events ~max_executions (root, root_sleep) =
   let produced = ref 0 in
-  let rec leaves state : Wo_core.Execution.t Seq.t =
+  let rec leaves state sleep : Wo_core.Execution.t Seq.t =
    fun () ->
     let state = drain_silent state in
     if Interp.events_so_far state > max_events then raise Limit_exceeded;
-    match Interp.runnable state with
-    | [] ->
+    match children_of ~strategy state sleep with
+    | None ->
       incr produced;
       if !produced > max_executions then raise Limit_exceeded;
       Seq.Cons (Interp.execution state, Seq.empty)
-    | procs ->
+    | Some kids ->
       Seq.concat_map
-        (fun p ->
-          let state', _ev = Interp.step state p in
-          leaves state')
-        (List.to_seq procs)
+        (fun (state', sleep') -> leaves state' sleep')
+        (List.to_seq kids)
         ()
   in
-  leaves (Interp.init program)
+  leaves root root_sleep
 
-(* Shared worker for outcome collection; [on_limit] decides whether bounds
-   raise or merely truncate. *)
-let collect_outcomes ~max_events ~max_executions ~raise_on_limit program =
+let executions ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  execution_seq ~strategy:Naive ~max_events ~max_executions
+    (Interp.init program, [])
+
+let executions_por ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  execution_seq ~strategy:Por ~max_events ~max_executions
+    (Interp.init program, [])
+
+module Outcome_set = Set.Make (Outcome)
+
+(* Eager worker for outcome collection; [raise_on_limit] decides whether
+   bounds raise or merely truncate.  Starts from an explicit list of
+   (state, sleep) roots so the parallel fan-out can reuse it per domain.
+   Outcomes are deduplicated incrementally, keeping memory proportional to
+   the number of distinct outcomes rather than enumerated executions. *)
+let collect_from ~strategy ~max_events ~max_executions ~raise_on_limit roots =
   let produced = ref 0 in
-  let outcomes = ref [] in
+  let states = ref 0 in
+  let outcomes = ref Outcome_set.empty in
   let truncated = ref false in
   let exception Stop in
-  let rec leaves state =
-    let state = drain_silent state in
-    if Interp.events_so_far state > max_events then
-      if raise_on_limit then raise Limit_exceeded
-      else begin
-        truncated := true;
-        raise Stop
-      end;
-    match Interp.runnable state with
-    | [] ->
-      incr produced;
-      outcomes := Interp.outcome state :: !outcomes;
-      if !produced >= max_executions then
-        if raise_on_limit then raise Limit_exceeded
-        else begin
-          truncated := true;
-          raise Stop
-        end
-    | procs ->
-      List.iter
-        (fun p ->
-          let state', _ev = Interp.step state p in
-          leaves state')
-        procs
+  let limit () =
+    if raise_on_limit then raise Limit_exceeded
+    else begin
+      truncated := true;
+      raise Stop
+    end
   in
-  (try leaves (Interp.init program) with Stop -> ());
-  ( List.sort_uniq Outcome.compare !outcomes,
-    { executions = !produced; truncated = !truncated } )
+  let rec go state sleep =
+    incr states;
+    let state = drain_silent state in
+    if Interp.events_so_far state > max_events then limit ();
+    match children_of ~strategy state sleep with
+    | None ->
+      incr produced;
+      outcomes := Outcome_set.add (Interp.outcome state) !outcomes;
+      if !produced >= max_executions then limit ()
+    | Some kids -> List.iter (fun (state', sleep') -> go state' sleep') kids
+  in
+  (try List.iter (fun (state, sleep) -> go state sleep) roots with Stop -> ());
+  ( Outcome_set.elements !outcomes,
+    { executions = !produced; states = !states; truncated = !truncated } )
 
-let outcomes ?(max_events = 64) ?(max_executions = 1_000_000) program =
-  fst (collect_outcomes ~max_events ~max_executions ~raise_on_limit:true program)
+let collect_outcomes ~strategy ~max_events ~max_executions ~raise_on_limit
+    program =
+  collect_from ~strategy ~max_events ~max_executions ~raise_on_limit
+    [ (Interp.init program, []) ]
 
-let outcomes_with_stats ?(max_events = 64) ?(max_executions = 1_000_000) program =
-  collect_outcomes ~max_events ~max_executions ~raise_on_limit:false program
+let outcomes ?(strategy = Por) ?(max_events = 64)
+    ?(max_executions = 1_000_000) program =
+  fst
+    (collect_outcomes ~strategy ~max_events ~max_executions
+       ~raise_on_limit:true program)
 
-let check_drf0 ?model ?max_events ?max_executions program =
-  Wo_core.Drf0.program_obeys ?model
-    (executions ?max_events ?max_executions program)
+let outcomes_with_stats ?(strategy = Por) ?(max_events = 64)
+    ?(max_executions = 1_000_000) program =
+  collect_outcomes ~strategy ~max_events ~max_executions ~raise_on_limit:false
+    program
+
+(* --- multicore fan-out ---------------------------------------------------- *)
+
+(* Expand the search tree breadth-first until there are enough subtree roots
+   to keep the workers busy.  Expansion follows exactly the same
+   (strategy-dependent) child generation as the sequential search, so the
+   produced subtrees jointly cover the same executions.  Complete executions
+   reached during expansion are handed to [on_leaf] immediately. *)
+let expand_frontier ~strategy ~max_events ~target ~on_leaf program =
+  let states = ref 0 in
+  let truncated = ref false in
+  let rec rounds tasks =
+    if List.length tasks >= target then tasks
+    else begin
+      let expanded = ref false in
+      let next =
+        List.concat_map
+          (fun (state, sleep) ->
+            incr states;
+            let state = drain_silent state in
+            if Interp.events_so_far state > max_events then begin
+              truncated := true;
+              []
+            end
+            else
+              match children_of ~strategy state sleep with
+              | None ->
+                on_leaf state;
+                []
+              | Some kids ->
+                expanded := true;
+                kids)
+          tasks
+      in
+      if !expanded then rounds next else next
+    end
+  in
+  let tasks = rounds [ (Interp.init program, []) ] in
+  (tasks, !states, !truncated)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let split_round_robin n tasks =
+  let buckets = Array.make n [] in
+  List.iteri (fun i t -> buckets.(i mod n) <- t :: buckets.(i mod n)) tasks;
+  Array.to_list (Array.map List.rev buckets)
+
+(* Run one worker per bucket on its own domain.  With a single bucket the
+   work stays on the current domain — spawning would only add overhead. *)
+let map_domains worker buckets =
+  match buckets with
+  | [ only ] -> [ worker only ]
+  | _ ->
+    List.map Domain.join
+      (List.map (fun b -> Domain.spawn (fun () -> worker b)) buckets)
+
+let outcomes_par ?(strategy = Por) ?(max_events = 64)
+    ?(max_executions = 1_000_000) ?domains program =
+  let num_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let frontier_leaves = ref [] in
+  let tasks, frontier_states, frontier_truncated =
+    expand_frontier ~strategy ~max_events ~target:(4 * num_domains)
+      ~on_leaf:(fun state ->
+        frontier_leaves := Interp.outcome state :: !frontier_leaves)
+      program
+  in
+  let results =
+    map_domains
+      (collect_from ~strategy ~max_events ~max_executions
+         ~raise_on_limit:false)
+      (split_round_robin num_domains tasks)
+  in
+  let outcomes, stats =
+    List.fold_left
+      (fun (os, acc) (o, (s : stats)) ->
+        ( List.rev_append o os,
+          {
+            executions = acc.executions + s.executions;
+            states = acc.states + s.states;
+            truncated = acc.truncated || s.truncated;
+          } ))
+      ( !frontier_leaves,
+        {
+          executions = List.length !frontier_leaves;
+          states = frontier_states;
+          truncated = frontier_truncated;
+        } )
+      results
+  in
+  (List.sort_uniq Outcome.compare outcomes, stats)
+
+(* --- DRF0 quantification -------------------------------------------------- *)
+
+let check_drf0 ?(strategy = Por) ?model ?max_events ?max_executions program =
+  let seq =
+    match strategy with
+    | Naive -> executions ?max_events ?max_executions program
+    | Por -> executions_por ?max_events ?max_executions program
+  in
+  Wo_core.Drf0.program_obeys ?model seq
+
+let check_drf0_par ?(strategy = Por) ?model ?(max_events = 64)
+    ?(max_executions = 1_000_000) ?domains program =
+  let num_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  (* Executions completing within the frontier itself are checked here, so
+     no complete execution escapes the quantifier. *)
+  let frontier_violation = ref None in
+  let tasks, _, _ =
+    expand_frontier ~strategy ~max_events ~target:(4 * num_domains)
+      ~on_leaf:(fun state ->
+        if !frontier_violation = None then
+          match
+            Wo_core.Drf0.program_obeys ?model
+              (Seq.return (Interp.execution state))
+          with
+          | Ok () -> ()
+          | Error r -> frontier_violation := Some r)
+      program
+  in
+  match !frontier_violation with
+  | Some r -> Error r
+  | None ->
+    (* Workers keep their subtasks' global indices so the reported
+       violation is deterministic for a given domain count: the racy
+       subtree with the smallest frontier index wins. *)
+    let indexed = List.mapi (fun i t -> (i, t)) tasks in
+    let check_root root =
+      Wo_core.Drf0.program_obeys ?model
+        (execution_seq ~strategy ~max_events ~max_executions root)
+    in
+    let worker roots =
+      List.find_map
+        (fun (i, root) ->
+          match check_root root with Ok () -> None | Error r -> Some (i, r))
+        roots
+    in
+    let results = map_domains worker (split_round_robin num_domains indexed) in
+    let first =
+      List.fold_left
+        (fun best r ->
+          match (best, r) with
+          | None, r -> r
+          | (Some _ as b), None -> b
+          | (Some (i, _) as b), (Some (j, _) as r) -> if j < i then r else b)
+        None results
+    in
+    (match first with Some (_, r) -> Error r | None -> Ok ())

@@ -1,47 +1,103 @@
-(** Exhaustive enumeration of idealized executions.
+(** Enumeration of idealized executions.
 
     DRF0 (Definition 3) quantifies over {e all} executions on the idealized
     architecture, and Definition 2's appears-SC test needs the full set of
-    sequentially consistent outcomes.  This module enumerates every
-    interleaving of a program's memory operations by depth-first search
+    sequentially consistent outcomes.  This module enumerates the
+    interleavings of a program's memory operations by depth-first search
     over scheduling choices.  Local computation is not a branch point
     (it commutes), so the branching factor is the number of processors with
     a pending memory operation.
 
-    Exponential, by design; litmus-scale programs only.  Programs with
-    loops can have unboundedly many executions — bound them with
-    [max_events] and check [truncated]. *)
+    Three enumerators, of increasing aggression:
+
+    - {b Naive} ({!executions}, [~strategy:Naive]): every interleaving,
+      once.  Exponential, by design; the oracle the others are tested
+      against.
+    - {b Partial-order reduction} ({!executions_por}, the default
+      [~strategy:Por]): sleep-set pruning driven by a per-step independence
+      test — two pending steps commute unless they touch the same location
+      with a write or either is a synchronization operation.  Explores one
+      representative per Mazurkiewicz trace; outcome sets and DRF0 verdicts
+      are identical to the naive enumerator because both are invariant
+      under commuting independent steps.
+    - {b Parallel} ({!outcomes_par}, {!check_drf0_par}): the root region of
+      the (naive or reduced) search tree is split across OCaml 5 [Domain]s;
+      per-domain results are merged at the end.
+
+    Programs with loops can have unboundedly many executions — bound them
+    with [max_events] and check [truncated]. *)
 
 exception Limit_exceeded
-(** Raised by the lazy sequence when a bound is hit. *)
+(** Raised when a bound is hit by an enumerator with raising semantics. *)
+
+type strategy =
+  | Naive  (** every interleaving — the exhaustive oracle *)
+  | Por  (** sleep-set partial-order reduction — same outcomes, fewer states *)
 
 type stats = {
-  executions : int;   (** number of complete executions enumerated *)
-  truncated : bool;   (** a bound stopped the enumeration *)
+  executions : int;  (** number of complete executions enumerated *)
+  states : int;  (** search-tree nodes visited (the pruning metric) *)
+  truncated : bool;  (** a bound stopped the enumeration *)
 }
 
 val executions :
   ?max_events:int -> ?max_executions:int -> Program.t ->
   Wo_core.Execution.t Seq.t
-(** All idealized executions, lazily.  [max_events] (default 64) bounds the
-    length of a single execution; [max_executions] (default 1_000_000)
-    bounds their number.  @raise Limit_exceeded when forcing the sequence
-    past a bound. *)
+(** All idealized executions, lazily, one per interleaving.  [max_events]
+    (default 64) bounds the length of a single execution; [max_executions]
+    (default 1_000_000) bounds their number.  @raise Limit_exceeded when
+    forcing the sequence past a bound. *)
 
-val outcomes : ?max_events:int -> ?max_executions:int -> Program.t -> Outcome.t list
-(** Distinct sequentially consistent outcomes, sorted.
+val executions_por :
+  ?max_events:int -> ?max_executions:int -> Program.t ->
+  Wo_core.Execution.t Seq.t
+(** One representative execution per Mazurkiewicz trace, lazily, under
+    sleep-set partial-order reduction.  @raise Limit_exceeded as for
+    {!executions}. *)
+
+val outcomes :
+  ?strategy:strategy -> ?max_events:int -> ?max_executions:int ->
+  Program.t -> Outcome.t list
+(** Distinct sequentially consistent outcomes, sorted.  The default
+    [Por] strategy produces exactly the same set as [Naive].
     @raise Limit_exceeded as for {!executions}. *)
 
 val outcomes_with_stats :
-  ?max_events:int -> ?max_executions:int -> Program.t ->
-  Outcome.t list * stats
-(** Like {!outcomes} but bounds truncate instead of raising. *)
+  ?strategy:strategy -> ?max_events:int -> ?max_executions:int ->
+  Program.t -> Outcome.t list * stats
+(** Like {!outcomes} but bounds truncate instead of raising, and the
+    search-effort counters are returned. *)
+
+val outcomes_par :
+  ?strategy:strategy -> ?max_events:int -> ?max_executions:int ->
+  ?domains:int -> Program.t -> Outcome.t list * stats
+(** {!outcomes_with_stats} with the search fanned out over [domains]
+    OCaml 5 domains (default: [Domain.recommended_domain_count () - 1],
+    at least 1).  The outcome set is identical for every [domains] value;
+    [stats.states] sums the per-domain counters.  [max_executions] is
+    enforced per domain, so a truncated parallel run can explore up to
+    [domains] times more executions than a truncated sequential one. *)
 
 val check_drf0 :
+  ?strategy:strategy ->
   ?model:Wo_core.Sync_model.t ->
   ?max_events:int -> ?max_executions:int ->
   Program.t ->
   (unit, Wo_core.Drf0.report) result
 (** Definition 3: the program obeys the model iff every idealized execution
-    is race-free.  Returns the first racy execution's report otherwise.
-    @raise Limit_exceeded as for {!executions}. *)
+    is race-free.  Returns a racy execution's report otherwise (under [Por],
+    the representative of the racy trace; a program is racy under [Por] iff
+    it is racy under [Naive]).  @raise Limit_exceeded as for
+    {!executions}. *)
+
+val check_drf0_par :
+  ?strategy:strategy ->
+  ?model:Wo_core.Sync_model.t ->
+  ?max_events:int -> ?max_executions:int ->
+  ?domains:int -> Program.t ->
+  (unit, Wo_core.Drf0.report) result
+(** {!check_drf0} with subtrees of the search checked on separate domains.
+    The verdict is identical for every [domains] value; for a fixed
+    [domains] the reported racy execution is deterministic (smallest
+    frontier-task index wins).  @raise Limit_exceeded as for
+    {!executions}. *)

@@ -40,11 +40,22 @@ let read_mem state loc =
   | None -> Program.initial_value state.program loc
 
 let runnable state =
-  Array.to_list
-    (Array.mapi (fun p (t : thread) -> (p, t.code <> [])) state.threads)
-  |> List.filter_map (fun (p, r) -> if r then Some p else None)
+  (* Called once per enumeration node; a single backwards scan building the
+     result directly avoids the intermediate list a map/filter pipeline
+     would allocate. *)
+  let rec go p acc =
+    if p < 0 then acc
+    else
+      go (p - 1)
+        (if state.threads.(p).code <> [] then p :: acc else acc)
+  in
+  go (Array.length state.threads - 1) []
 
-let finished state = runnable state = []
+let finished state =
+  let rec go p =
+    p < 0 || (state.threads.(p).code = [] && go (p - 1))
+  in
+  go (Array.length state.threads - 1)
 
 (* Execute one memory instruction atomically, producing the event and the
    updated thread environment and memory. *)
@@ -97,32 +108,54 @@ let exec_memory state (th : thread) proc instr rest =
     },
     Some ev )
 
-let step state proc =
-  let th = state.threads.(proc) in
-  if th.code = [] then invalid_arg "Interp.step: processor already finished";
-  (* Unfold local control flow until a memory instruction or termination. *)
-  let rec advance env code budget =
+(* Unfold local control flow until a memory instruction or termination. *)
+let advance proc env code budget0 =
+  let rec go env code budget =
     if budget = 0 then raise (Local_divergence proc);
     match code with
     | [] -> `Finished env
     | Instr.Assign (r, e) :: rest ->
-      advance (Int_map.add r (Instr.eval_expr (lookup_reg env) e) env) rest (budget - 1)
-    | Instr.Nop :: rest -> advance env rest (budget - 1)
+      go (Int_map.add r (Instr.eval_expr (lookup_reg env) e) env) rest (budget - 1)
+    | Instr.Nop :: rest -> go env rest (budget - 1)
     | Instr.Fence :: rest ->
       (* every access is already atomic and in program order here *)
-      advance env rest (budget - 1)
+      go env rest (budget - 1)
     | Instr.If (c, a, b) :: rest ->
       let branch = if Instr.eval_cond (lookup_reg env) c then a else b in
-      advance env (branch @ rest) (budget - 1)
+      go env (branch @ rest) (budget - 1)
     | Instr.While (c, body) :: rest ->
       if Instr.eval_cond (lookup_reg env) c then
-        advance env (body @ (Instr.While (c, body) :: rest)) (budget - 1)
-      else advance env rest (budget - 1)
+        go env (body @ (Instr.While (c, body) :: rest)) (budget - 1)
+      else go env rest (budget - 1)
     | (Instr.Read _ | Instr.Write _ | Instr.Sync_read _ | Instr.Sync_write _
       | Instr.Test_and_set _ | Instr.Fetch_and_add _) as instr :: rest ->
       `Memory (env, instr, rest)
   in
-  match advance th.env th.code max_local_steps with
+  go env code budget0
+
+type access = { loc : Wo_core.Event.loc; writes : bool; sync : bool }
+
+let peek state proc =
+  let th = state.threads.(proc) in
+  match advance proc th.env th.code max_local_steps with
+  | `Finished _ -> None
+  | `Memory (_, instr, _) ->
+    Some
+      (match instr with
+      | Instr.Read (_, loc) -> { loc; writes = false; sync = false }
+      | Instr.Write (loc, _) -> { loc; writes = true; sync = false }
+      | Instr.Sync_read (_, loc) -> { loc; writes = false; sync = true }
+      | Instr.Sync_write (loc, _) -> { loc; writes = true; sync = true }
+      | Instr.Test_and_set (_, loc) | Instr.Fetch_and_add (_, loc, _) ->
+        { loc; writes = true; sync = true }
+      | Instr.Assign _ | Instr.If _ | Instr.While _ | Instr.Nop
+      | Instr.Fence ->
+        assert false)
+
+let step state proc =
+  let th = state.threads.(proc) in
+  if th.code = [] then invalid_arg "Interp.step: processor already finished";
+  match advance proc th.env th.code max_local_steps with
   | `Finished env ->
     let threads = Array.copy state.threads in
     threads.(proc) <- { env; code = [] };

@@ -30,6 +30,18 @@ val step : state -> Wo_core.Event.proc -> state * Wo_core.Event.t option
 
     @raise Invalid_argument if the processor is not runnable. *)
 
+type access = { loc : Wo_core.Event.loc; writes : bool; sync : bool }
+(** Shape of a processor's pending memory operation: the location it will
+    touch, whether it has a write component, and whether it is a
+    synchronization operation. *)
+
+val peek : state -> Wo_core.Event.proc -> access option
+(** The memory access {!step} would perform for this processor, without
+    committing anything, or [None] if the thread would finish without
+    another memory operation.  Locations are static, so the answer for a
+    processor is unchanged by other processors' steps — the property the
+    partial-order-reduced enumerator's independence test relies on. *)
+
 val memory : state -> (Wo_core.Event.loc * Wo_core.Event.value) list
 (** Current memory contents over the program's locations, sorted. *)
 

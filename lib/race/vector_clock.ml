@@ -22,10 +22,12 @@ let join a b =
   Array.mapi (fun i v -> max v b.(i)) a
 
 let leq a b =
+  (* Hot in the race detector (one call per conflict check); bail out at the
+     first violating component instead of scanning the whole vector. *)
   check_sizes a b;
-  let ok = ref true in
-  Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
-  !ok
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
 
 let equal a b = a = b
 

@@ -56,6 +56,9 @@ let test_interleaving_count_is_binomial () =
   check_int "C(6,3)" 20 (List.length (List.of_seq (En.executions p)))
 
 let test_limits_raise () =
+  (* The two threads are fully independent, so the reduced enumerator
+     visits a single representative; the execution-count limits are
+     exercised against the exhaustive oracle. *)
   let p =
     P.make
       [
@@ -65,10 +68,17 @@ let test_limits_raise () =
   in
   check "max_executions raises" true
     (try
-       ignore (En.outcomes ~max_executions:10 p);
+       ignore (En.outcomes ~strategy:En.Naive ~max_executions:10 p);
        false
      with En.Limit_exceeded -> true);
   check "max_events raises" true
+    (try
+       ignore (En.outcomes ~strategy:En.Naive ~max_events:4 p);
+       false
+     with En.Limit_exceeded -> true);
+  (* max_events bounds a single execution's length, so it binds the
+     reduced enumerator identically. *)
+  check "max_events raises under POR" true
     (try
        ignore (En.outcomes ~max_events:4 p);
        false
@@ -82,11 +92,143 @@ let test_outcomes_with_stats_truncates () =
         List.init 6 (fun i -> I.Write (1, I.Const i));
       ]
   in
-  let _outs, stats = En.outcomes_with_stats ~max_executions:5 p in
+  let _outs, stats =
+    En.outcomes_with_stats ~strategy:En.Naive ~max_executions:5 p
+  in
   check "truncated flag" true stats.En.truncated;
   check "counted" true (stats.En.executions >= 5);
   let _outs, stats = En.outcomes_with_stats p in
-  check "complete run not truncated" false stats.En.truncated
+  check "complete run not truncated" false stats.En.truncated;
+  check "states counted" true (stats.En.states > 0)
+
+(* --- partial-order reduction --------------------------------------------- *)
+
+let outcome_sets_equal a b =
+  List.length a = List.length b && List.for_all2 (fun x y -> O.equal x y) a b
+
+let test_por_matches_naive_on_litmus () =
+  List.iter
+    (fun (t : Wo_litmus.Litmus.t) ->
+      let naive = En.outcomes ~strategy:En.Naive t.Wo_litmus.Litmus.program in
+      let por = En.outcomes ~strategy:En.Por t.Wo_litmus.Litmus.program in
+      check
+        (Printf.sprintf "POR outcomes equal naive on %s" t.Wo_litmus.Litmus.name)
+        true
+        (outcome_sets_equal naive por))
+    [
+      Wo_litmus.Litmus.figure1;
+      Wo_litmus.Litmus.message_passing;
+      Wo_litmus.Litmus.dekker_sync;
+      Wo_litmus.Litmus.atomicity;
+      Wo_litmus.Litmus.coherence;
+    ]
+
+let test_por_prunes_states () =
+  (* Independent per-thread prologues blow up the naive interleaving count
+     but are all Mazurkiewicz-equivalent; POR must explore far fewer
+     search-tree nodes while producing the same outcome set. *)
+  let pad loc = List.init 4 (fun i -> I.Write (loc, I.Const i)) in
+  let p =
+    P.make
+      [
+        pad 2 @ [ I.Write (0, I.Const 1); I.Read (N.r0, 1) ];
+        pad 3 @ [ I.Write (1, I.Const 1); I.Read (N.r0, 0) ];
+      ]
+  in
+  let naive_outs, naive = En.outcomes_with_stats ~strategy:En.Naive p in
+  let por_outs, por = En.outcomes_with_stats ~strategy:En.Por p in
+  check "same outcome set" true (outcome_sets_equal naive_outs por_outs);
+  check "POR visits fewer states" true (por.En.states * 5 <= naive.En.states);
+  check "POR enumerates fewer executions" true
+    (por.En.executions < naive.En.executions)
+
+let prop_por_outcomes_equal_naive =
+  (* Program shapes stay small because the naive side is exponential: the
+     warmed racy generator emits (locs + ops_per_proc) memory events per
+     processor. *)
+  QCheck.Test.make
+    ~name:"POR outcome set equals the naive oracle on random programs"
+    ~count:60 QCheck.small_int (fun pseed ->
+      let procs = 2 + (pseed mod 2) in
+      let ops_per_proc = if procs = 2 then 3 else 2 in
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs ~ops_per_proc ~locs:2 ()
+      in
+      outcome_sets_equal
+        (En.outcomes ~strategy:En.Naive program)
+        (En.outcomes ~strategy:En.Por program))
+
+let prop_por_drf0_verdict_equals_naive =
+  QCheck.Test.make
+    ~name:"POR and naive check_drf0 verdicts agree on random programs"
+    ~count:40 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs:2 ~ops_per_proc:3
+          ~locs:2 ()
+      in
+      (En.check_drf0 ~strategy:En.Naive program = Ok ())
+      = (En.check_drf0 ~strategy:En.Por program = Ok ()))
+
+(* --- multicore fan-out ----------------------------------------------------- *)
+
+let test_outcomes_par_deterministic () =
+  (* Same outcome set regardless of the domain count and of domain
+     scheduling: litmus programs and a wider random program. *)
+  let programs =
+    Wo_litmus.Litmus.figure1.Wo_litmus.Litmus.program
+    :: Wo_litmus.Litmus.dekker_sync.Wo_litmus.Litmus.program
+    :: List.init 3 (fun i ->
+           Wo_litmus.Random_prog.racy ~seed:(i + 1) ~procs:3 ~ops_per_proc:3
+             ~locs:2 ())
+  in
+  List.iter
+    (fun program ->
+      let reference = En.outcomes program in
+      List.iter
+        (fun domains ->
+          let par, _stats = En.outcomes_par ~domains program in
+          check
+            (Printf.sprintf "outcomes_par ~domains:%d matches sequential"
+               domains)
+            true
+            (outcome_sets_equal reference par))
+        [ 1; 2; 3; 4 ])
+    programs
+
+let test_outcomes_par_strategies_agree () =
+  let program =
+    Wo_litmus.Random_prog.racy ~seed:7 ~procs:3 ~ops_per_proc:2 ~locs:2 ()
+  in
+  let naive, _ = En.outcomes_par ~strategy:En.Naive ~domains:3 program in
+  let por, _ = En.outcomes_par ~strategy:En.Por ~domains:3 program in
+  check "parallel naive equals parallel POR" true
+    (outcome_sets_equal naive por)
+
+let test_check_drf0_par () =
+  List.iter
+    (fun domains ->
+      check "figure1 racy (par)" true
+        (En.check_drf0_par ~domains sb <> Ok ());
+      check "dekker-sync race-free (par)" true
+        (En.check_drf0_par ~domains
+           Wo_litmus.Litmus.dekker_sync.Wo_litmus.Litmus.program
+        = Ok ());
+      check "sync-chain race-free (par)" true
+        (En.check_drf0_par ~domains
+           Wo_litmus.Litmus.sync_chain.Wo_litmus.Litmus.program
+        = Ok ()))
+    [ 1; 2; 4 ]
+
+let prop_check_drf0_par_matches_sequential =
+  QCheck.Test.make
+    ~name:"parallel DRF0 verdict equals sequential on random programs"
+    ~count:25 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs:2 ~ops_per_proc:3
+          ~locs:2 ()
+      in
+      (En.check_drf0 program = Ok ())
+      = (En.check_drf0_par ~domains:3 program = Ok ()))
 
 let test_check_drf0 () =
   check "figure1 racy" true (En.check_drf0 sb <> Ok ());
@@ -147,6 +289,17 @@ let tests =
     Alcotest.test_case "limits raise" `Quick test_limits_raise;
     Alcotest.test_case "stats truncate" `Quick test_outcomes_with_stats_truncates;
     Alcotest.test_case "check_drf0" `Quick test_check_drf0;
+    Alcotest.test_case "POR matches naive on litmus" `Quick
+      test_por_matches_naive_on_litmus;
+    Alcotest.test_case "POR prunes states" `Quick test_por_prunes_states;
+    Alcotest.test_case "outcomes_par determinism" `Quick
+      test_outcomes_par_deterministic;
+    Alcotest.test_case "outcomes_par strategies agree" `Quick
+      test_outcomes_par_strategies_agree;
+    Alcotest.test_case "check_drf0_par" `Quick test_check_drf0_par;
+    QCheck_alcotest.to_alcotest prop_por_outcomes_equal_naive;
+    QCheck_alcotest.to_alcotest prop_por_drf0_verdict_equals_naive;
+    QCheck_alcotest.to_alcotest prop_check_drf0_par_matches_sequential;
     QCheck_alcotest.to_alcotest prop_random_run_in_enumerated_set;
     QCheck_alcotest.to_alcotest prop_round_robin_in_enumerated_set;
     QCheck_alcotest.to_alcotest prop_all_executions_are_sc;

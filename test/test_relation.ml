@@ -148,6 +148,108 @@ let prop_acyclic_iff_topo =
       let sortable = R.topological_sort ~nodes:(R.nodes r) r <> None in
       sortable = R.is_acyclic r)
 
+(* --- dense bitset representation ------------------------------------------ *)
+
+let test_dense_round_trip () =
+  List.iter
+    (fun r ->
+      check "round trip" true (R.equal r R.Dense.(to_sparse (of_sparse r))))
+    [ R.empty; chain; diamond; cycle ]
+
+let test_dense_mem () =
+  let m = R.Dense.of_sparse diamond in
+  check "mem present" true (R.Dense.mem 1 2 m);
+  check "mem absent" false (R.Dense.mem 2 1 m);
+  check "mem outside universe" false (R.Dense.mem 1 99 m);
+  Alcotest.(check int) "size" 4 (R.Dense.size m)
+
+let test_dense_closure () =
+  let tc = R.Dense.(to_sparse (transitive_closure (of_sparse chain))) in
+  check "1->4 in dense closure" true (R.mem 1 4 tc);
+  check "no reverse" false (R.mem 4 1 tc);
+  check_int "cardinal 3+2+1" 6 (R.cardinal tc);
+  check "dense acyclic chain" true (R.Dense.is_acyclic (R.Dense.of_sparse chain));
+  check "dense cyclic cycle" false (R.Dense.is_acyclic (R.Dense.of_sparse cycle));
+  Alcotest.(check (list int))
+    "dense reachable" [ 2; 3; 4 ]
+    (R.Dense.reachable 1 (R.Dense.of_sparse diamond))
+
+(* A relation wide enough that ids span several 64-bit words per row, so
+   the word-level union paths are exercised. *)
+let arbitrary_wide_relation =
+  QCheck.(
+    map
+      (fun pairs -> R.of_list pairs)
+      (list_of_size Gen.(0 -- 80) (pair (0 -- 150) (0 -- 150))))
+
+(* Independent oracle: reachability on a boolean matrix, no bitsets. *)
+let closure_oracle r =
+  let nodes = Array.of_list (R.nodes r) in
+  let n = Array.length nodes in
+  let idx id =
+    let rec go i = if nodes.(i) = id then i else go (i + 1) in
+    go 0
+  in
+  let m = Array.make_matrix n n false in
+  List.iter (fun (a, b) -> m.(idx a).(idx b) <- true) (R.pairs r);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if m.(i).(k) then
+        for j = 0 to n - 1 do
+          if m.(k).(j) then m.(i).(j) <- true
+        done
+    done
+  done;
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if m.(i).(j) then out := (nodes.(i), nodes.(j)) :: !out
+    done
+  done;
+  R.of_list !out
+
+let prop_dense_closure_agrees arb name =
+  QCheck.Test.make ~name ~count:200 arb (fun r ->
+      let dense = R.Dense.(to_sparse (transitive_closure (of_sparse r))) in
+      R.equal dense (closure_oracle r))
+
+let prop_dense_closure_small =
+  prop_dense_closure_agrees arbitrary_relation
+    "dense closure agrees with the matrix oracle (small)"
+
+let prop_dense_closure_wide =
+  prop_dense_closure_agrees arbitrary_wide_relation
+    "dense closure agrees with the matrix oracle (multi-word rows)"
+
+let prop_dense_matches_sparse_closure =
+  QCheck.Test.make
+    ~name:"dense and sparse transitive closures agree" ~count:200
+    arbitrary_relation (fun r ->
+      (* below the dispatch threshold [transitive_closure] takes the sparse
+         DFS path, so this cross-checks the two implementations *)
+      R.equal
+        (R.transitive_closure r)
+        R.Dense.(to_sparse (transitive_closure (of_sparse r))))
+
+let prop_dense_acyclicity_agrees =
+  QCheck.Test.make ~name:"dense and sparse acyclicity agree" ~count:200
+    arbitrary_wide_relation (fun r ->
+      R.Dense.is_acyclic (R.Dense.of_sparse r) = R.is_acyclic r)
+
+let prop_dense_mem_agrees =
+  QCheck.Test.make ~name:"dense mem agrees with sparse mem" ~count:200
+    arbitrary_wide_relation (fun r ->
+      let m = R.Dense.of_sparse r in
+      List.for_all
+        (fun a ->
+          List.for_all (fun b -> R.Dense.mem a b m = R.mem a b r) (R.nodes r))
+        (R.nodes r))
+
+let prop_dense_round_trip =
+  QCheck.Test.make ~name:"dense round trip preserves the relation" ~count:200
+    arbitrary_wide_relation (fun r ->
+      R.equal r R.Dense.(to_sparse (of_sparse r)))
+
 let tests =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -163,6 +265,15 @@ let tests =
     Alcotest.test_case "topological sort" `Quick test_topological_sort;
     Alcotest.test_case "linearizations" `Quick test_linearizations;
     Alcotest.test_case "consistent" `Quick test_consistent;
+    Alcotest.test_case "dense round trip" `Quick test_dense_round_trip;
+    Alcotest.test_case "dense mem" `Quick test_dense_mem;
+    Alcotest.test_case "dense closure" `Quick test_dense_closure;
+    QCheck_alcotest.to_alcotest prop_dense_closure_small;
+    QCheck_alcotest.to_alcotest prop_dense_closure_wide;
+    QCheck_alcotest.to_alcotest prop_dense_matches_sparse_closure;
+    QCheck_alcotest.to_alcotest prop_dense_acyclicity_agrees;
+    QCheck_alcotest.to_alcotest prop_dense_mem_agrees;
+    QCheck_alcotest.to_alcotest prop_dense_round_trip;
     QCheck_alcotest.to_alcotest prop_closure_idempotent;
     QCheck_alcotest.to_alcotest prop_closure_transitive;
     QCheck_alcotest.to_alcotest prop_closure_contains;
