@@ -50,42 +50,64 @@ let is_winning_tas (e : Wo_sim.Trace.entry) =
   ev.E.proc = 1 && ev.E.kind = E.Sync_rmw && ev.E.loc = Wo_prog.Names.s
   && ev.E.read_value = Some 0
 
-let metric_rows () =
-  List.map
-    (fun ((machine : M.t), waits) ->
-      let p0_finish = ref 0
-      and p1_finish = ref 0
-      and unset_stall = ref 0
-      and tas_wait = ref 0
-      and stale = ref 0 in
-      for seed = 1 to runs do
-        let r = M.run machine ~seed scenario.Wo_litmus.Litmus.program in
-        p0_finish := !p0_finish + r.M.proc_finish.(0);
-        p1_finish := !p1_finish + r.M.proc_finish.(1);
-        (match find_entry r.M.trace is_unset with
-        | Some e ->
-          (* What P0 actually waits for before continuing; Definition-1
-             hardware additionally waits BEFORE issuing the Unset until all
-             previous accesses are globally performed (the gate), which in
-             this scenario is charged entirely to the Unset. *)
-          let until =
-            match waits with
-            | `Waits_gp -> e.Wo_sim.Trace.performed
-            | `Waits_commit -> e.Wo_sim.Trace.committed
-          in
-          unset_stall :=
-            !unset_stall
-            + (until - e.Wo_sim.Trace.issued)
-            + M.stall r ~proc:0 "gate"
-        | None -> ());
-        (match find_entry r.M.trace is_winning_tas with
-        | Some e ->
-          tas_wait :=
-            !tas_wait + (e.Wo_sim.Trace.committed - e.Wo_sim.Trace.issued)
-        | None -> ());
-        if Wo_prog.Outcome.register r.M.outcome 1 Wo_prog.Names.r0 <> Some 1
-        then incr stale
-      done;
+(* The cycle P0's frontend arrived at the Unset, from the recorded
+   issue instant (the trace entry's [issued] is post-gate, so the
+   Definition-1 pre-issue wait is invisible to it). *)
+let unset_arrival recorder =
+  List.fold_left
+    (fun acc ev ->
+      match (ev : Wo_obs.Recorder.event) with
+      | Instant { name = "issue.Su.s"; track = 0; ts; _ } -> Some ts
+      | _ -> acc)
+    None
+    (Wo_obs.Recorder.events recorder)
+
+type measured = {
+  machine : M.t;
+  row : string list;
+  stalls : Wo_obs.Stall.t;  (** merged across all [runs] seeds *)
+}
+
+let measure ((machine : M.t), waits) =
+  let p0_finish = ref 0
+  and p1_finish = ref 0
+  and unset_stall = ref 0
+  and tas_wait = ref 0
+  and stale = ref 0
+  and stalls = ref (Wo_obs.Stall.create ()) in
+  for seed = 1 to runs do
+    let recorder = Wo_obs.Recorder.create () in
+    let r =
+      Wo_obs.Recorder.with_sink recorder (fun () ->
+          M.run machine ~seed scenario.Wo_litmus.Litmus.program)
+    in
+    p0_finish := !p0_finish + r.M.proc_finish.(0);
+    p1_finish := !p1_finish + r.M.proc_finish.(1);
+    (match (find_entry r.M.trace is_unset, unset_arrival recorder) with
+    | Some e, Some arrival ->
+      (* What P0 actually waits through at the Unset, from arrival
+         (which includes the Definition-1 pre-issue gate) until the
+         machine lets it continue: global perform on wo-old, commit on
+         wo-new. *)
+      let until =
+        match waits with
+        | `Waits_gp -> e.Wo_sim.Trace.performed
+        | `Waits_commit -> e.Wo_sim.Trace.committed
+      in
+      unset_stall := !unset_stall + (until - arrival)
+    | _ -> ());
+    (match find_entry r.M.trace is_winning_tas with
+    | Some e ->
+      tas_wait :=
+        !tas_wait + (e.Wo_sim.Trace.committed - e.Wo_sim.Trace.issued)
+    | None -> ());
+    if Wo_prog.Outcome.register r.M.outcome 1 Wo_prog.Names.r0 <> Some 1
+    then incr stale;
+    stalls := Wo_obs.Stall.merge !stalls r.M.stalls
+  done;
+  {
+    machine;
+    row =
       [
         machine.M.name;
         string_of_int (!unset_stall / runs);
@@ -93,8 +115,44 @@ let metric_rows () =
         string_of_int (!tas_wait / runs);
         string_of_int (!p1_finish / runs);
         Exp_common.pct !stale runs;
-      ])
-    (machines ())
+      ];
+    stalls = !stalls;
+  }
+
+(* Average per-processor per-reason stall cycles, one row per (machine,
+   processor), one column per reason that shows up anywhere. *)
+let breakdown_table measures =
+  let reasons =
+    List.filter
+      (fun reason ->
+        List.exists
+          (fun m ->
+            List.exists
+              (fun proc -> Wo_obs.Stall.get m.stalls ~proc reason > 0)
+              (Wo_obs.Stall.procs m.stalls))
+          measures)
+      Wo_obs.Stall.all_reasons
+  in
+  let headers =
+    "machine" :: "proc" :: List.map Wo_obs.Stall.reason_name reasons
+  in
+  let rows =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun proc ->
+            m.machine.M.name
+            :: Printf.sprintf "P%d" proc
+            :: List.map
+                 (fun reason ->
+                   string_of_int (Wo_obs.Stall.get m.stalls ~proc reason / runs))
+                 reasons)
+          (Wo_obs.Stall.procs m.stalls))
+      measures
+  in
+  Wo_report.Table.print
+    ~align:Wo_report.Table.(L :: L :: List.map (fun _ -> R) reasons)
+    ~headers rows
 
 (* A per-operation timeline of one run, restricted to the operations the
    figure draws. *)
@@ -150,6 +208,7 @@ let run () =
      P0 waits at the Unset before continuing (until globally performed on\n\
      wo-old, until commit on wo-new).\n\n"
     slow_factor runs;
+  let measures = List.map measure (machines ()) in
   Wo_report.Table.print
     ~align:Wo_report.Table.[ L; R; R; R; R; R ]
     ~headers:
@@ -161,10 +220,21 @@ let run () =
         "P1 finish";
         "stale reads";
       ]
-    (metric_rows ());
+    (List.map (fun m -> m.row) measures);
   print_endline
     "Expected shape: wo-new's Unset stall collapses (P0 need never stall);\n\
      P1's winning TestAndSet waits for W(x) to perform globally on every\n\
      machine (Def. 1 serializes at the Unset, Def. 2 at the reserve bit);\n\
      stale reads are always 0.";
+  print_newline ();
+  Wo_report.Table.subheading
+    "per-reason stall attribution (avg cycles per run, wo_obs accounts)";
+  print_newline ();
+  breakdown_table measures;
+  print_endline
+    "Expected shape: on wo-old every synchronization P0 performs — the\n\
+     warmup Sync_read spin and, above all, the Unset — lands in its\n\
+     release_gate account (Definition-1 conditions 2/3); wo-new charges P0\n\
+     zero release_gate cycles anywhere and the serialization reappears in\n\
+     P1's reserve account (§5.3 reserve bit).";
   List.iter timeline (machines ())

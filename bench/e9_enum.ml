@@ -104,50 +104,52 @@ let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
 
 let per_sec n seconds = if seconds <= 0.0 then 0.0 else float_of_int n /. seconds
 
-let json_of_rows seq_rows par_rows =
-  let b = Buffer.create 4096 in
-  let stats_json (s : En.stats) seconds =
-    Printf.sprintf
-      "{\"executions\": %d, \"states\": %d, \"truncated\": %b, \"seconds\": \
-       %.6f, \"executions_per_sec\": %.1f}"
-      s.En.executions s.En.states s.En.truncated seconds
-      (per_sec s.En.executions seconds)
-  in
-  Buffer.add_string b
-    (Printf.sprintf
-       "{\n  \"experiment\": \"e9\",\n  \"recommended_domains\": %d,\n\
-       \  \"sequential\": [\n"
-       (Domain.recommended_domain_count ()));
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_string b ",\n";
-      Buffer.add_string b
-        (Printf.sprintf
-           "    {\"program\": %S, \"naive\": %s, \"por\": %s, \
-            \"state_reduction\": %.2f, \"speedup\": %.2f, \
-            \"outcomes_equal\": %b, \"distinct_outcomes\": %d}"
-           r.program_name
-           (stats_json r.naive_stats r.naive_seconds)
-           (stats_json r.por_stats r.por_seconds)
-           (ratio r.naive_stats.En.states r.por_stats.En.states)
-           (if r.por_seconds <= 0.0 then 0.0
-            else r.naive_seconds /. r.por_seconds)
-           r.outcomes_equal r.distinct_outcomes))
-    seq_rows;
-  Buffer.add_string b "\n  ],\n  \"parallel\": [\n";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_string b ",\n";
-      Buffer.add_string b
-        (Printf.sprintf
-           "    {\"program\": %S, \"strategy\": %S, \"domains\": %d, %s}"
-           r.par_program r.par_strategy r.domains
-           (let s = stats_json r.par_stats r.par_seconds in
-            (* inline the stats object's fields *)
-            String.sub s 1 (String.length s - 2))))
-    par_rows;
-  Buffer.add_string b "\n  ]\n}\n";
-  Buffer.contents b
+module J = Wo_obs.Json
+
+let stats_json (s : En.stats) seconds =
+  [
+    ("executions", J.Int s.En.executions);
+    ("states", J.Int s.En.states);
+    ("truncated", J.Bool s.En.truncated);
+    ("seconds", J.Float seconds);
+    ("executions_per_sec", J.Float (per_sec s.En.executions seconds));
+  ]
+
+let metrics_fields seq_rows par_rows =
+  [
+    ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+    ("quick", J.Bool Exp_common.quick);
+    ( "sequential",
+      J.List
+        (List.map
+           (fun r ->
+             J.Obj
+               [
+                 ("program", J.String r.program_name);
+                 ("naive", J.Obj (stats_json r.naive_stats r.naive_seconds));
+                 ("por", J.Obj (stats_json r.por_stats r.por_seconds));
+                 ( "state_reduction",
+                   J.Float (ratio r.naive_stats.En.states r.por_stats.En.states)
+                 );
+                 ( "speedup",
+                   J.Float
+                     (if r.por_seconds <= 0.0 then 0.0
+                      else r.naive_seconds /. r.por_seconds) );
+                 ("outcomes_equal", J.Bool r.outcomes_equal);
+                 ("distinct_outcomes", J.Int r.distinct_outcomes);
+               ])
+           seq_rows) );
+    ( "parallel",
+      J.List
+        (List.map
+           (fun r ->
+             J.Obj
+               (("program", J.String r.par_program)
+                :: ("strategy", J.String r.par_strategy)
+                :: ("domains", J.Int r.domains)
+                :: stats_json r.par_stats r.par_seconds))
+           par_rows) );
+  ]
 
 let run () =
   Wo_report.Table.heading
@@ -156,16 +158,25 @@ let run () =
     "sequential: sleep-set POR vs. the naive oracle (same outcome sets)";
   print_newline ();
   let seq_programs =
-    [
-      L.figure1.L.program;
-      padded L.figure1 3;
-      padded L.figure1 6;
-      L.dekker_sync.L.program;
-      padded L.dekker_sync 3;
-      padded L.dekker_sync 6;
-      L.message_passing.L.program;
-      padded L.message_passing 5;
-    ]
+    if Exp_common.quick then
+      [
+        L.figure1.L.program;
+        padded L.figure1 2;
+        L.dekker_sync.L.program;
+        padded L.dekker_sync 2;
+        L.message_passing.L.program;
+      ]
+    else
+      [
+        L.figure1.L.program;
+        padded L.figure1 3;
+        padded L.figure1 6;
+        L.dekker_sync.L.program;
+        padded L.dekker_sync 3;
+        padded L.dekker_sync 6;
+        L.message_passing.L.program;
+        padded L.message_passing 5;
+      ]
   in
   let seq_rows = List.map seq_measure seq_programs in
   Wo_report.Table.print
@@ -222,11 +233,13 @@ let run () =
   Printf.printf "host parallelism: %d recommended domain(s)\n\n"
     (Domain.recommended_domain_count ());
   let par_programs =
-    [
-      (contended ~procs:3 ~ops:4, En.Naive, "naive");
-      (padded L.figure1 6, En.Naive, "naive");
-      (padded L.dekker_sync 6, En.Por, "por");
-    ]
+    if Exp_common.quick then [ (contended ~procs:2 ~ops:3, En.Naive, "naive") ]
+    else
+      [
+        (contended ~procs:3 ~ops:4, En.Naive, "naive");
+        (padded L.figure1 6, En.Naive, "naive");
+        (padded L.dekker_sync 6, En.Por, "por");
+      ]
   in
   let domain_counts =
     let rec dedup = function
@@ -234,7 +247,9 @@ let run () =
       | a :: rest -> a :: dedup rest
       | [] -> []
     in
-    dedup (List.sort compare [ 1; 2; 4; Domain.recommended_domain_count () ])
+    if Exp_common.quick then [ 1; 2 ]
+    else
+      dedup (List.sort compare [ 1; 2; 4; Domain.recommended_domain_count () ])
   in
   let par_rows =
     List.concat_map
@@ -260,12 +275,9 @@ let run () =
            Printf.sprintf "%.0f" (per_sec r.par_stats.En.executions r.par_seconds);
          ])
        par_rows);
-  let json = json_of_rows seq_rows par_rows in
-  let oc = open_out "BENCH_enum.json" in
-  output_string oc json;
-  close_out oc;
   print_newline ();
-  print_endline "wrote BENCH_enum.json";
+  Exp_common.write_metrics ~experiment:"e9" ~path:"BENCH_enum.json"
+    (metrics_fields seq_rows par_rows);
   print_endline
     "Expected: POR explores the same outcome sets with far fewer states on\n\
      programs with independent work (>=5x on the padded Figure-1/Dekker\n\

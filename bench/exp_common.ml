@@ -31,3 +31,18 @@ let machine_by_name name =
   match Wo_machines.Presets.find name with
   | Some m -> m
   | None -> failwith ("unknown machine: " ^ name)
+
+(* CI smoke runs set WO_BENCH_QUICK=1 to shrink every experiment's
+   bounds: same code paths, tiny inputs. *)
+let quick =
+  match Sys.getenv_opt "WO_BENCH_QUICK" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let scaled n quick_n = if quick then quick_n else n
+
+(* All BENCH_*.json files go through the versioned wo-metrics envelope
+   (schema + schema_version + experiment tag, see lib/obs/metrics.mli). *)
+let write_metrics ~experiment ~path fields =
+  Wo_obs.Metrics.write_file ~path (Wo_obs.Metrics.make ~experiment fields);
+  Printf.printf "wrote %s\n" path

@@ -7,7 +7,15 @@
      wo races message-passing        check a litmus program against DRF0
      wo workload critical-section -m sc-dir
                                      run a workload, validate its invariant
-     wo trace figure3 -m wo-new      dump one run's operation timeline *)
+     wo trace figure3 -m wo-new      dump one run's operation timeline
+     wo trace figure3 --format=perfetto -o t.json
+                                     export the run as Chrome trace-event
+                                     JSON (open in Perfetto / chrome://tracing)
+
+   Exit codes: 0 success, 1 usage error (unknown test / machine /
+   workload name), 2 property failure (non-SC outcome, race, broken
+   invariant), 3 machine error (simulated deadlock / protocol failure),
+   124 malformed command line (cmdliner's own convention). *)
 
 open Cmdliner
 
@@ -25,10 +33,34 @@ let machine_arg =
   Arg.(value & opt string "wo-new" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
 
 let runs_arg =
-  Arg.(value & opt int 100 & info [ "n"; "runs" ] ~docv:"N" ~doc:"Seeded runs.")
+  Arg.(
+    value & opt int 100
+    & info [ "n"; "runs" ] ~docv:"N"
+        ~doc:"Number of seeded runs; seeds are $(i,SEED)..$(i,SEED)+$(docv)-1.")
+
+let seed_doc =
+  "Base seed for the deterministic simulation; the same seed always \
+   reproduces the same run."
 
 let seed_arg =
-  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:seed_doc)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Also write a versioned wo-metrics JSON document (schema \
+           $(b,wo-metrics)) to $(docv).")
+
+(* A Machine_error is a finding about the simulated hardware (deadlock,
+   protocol violation), not a usage error: report it and exit 3. *)
+let machine_errors f =
+  try f () with
+  | M.Machine_error msg ->
+    Printf.eprintf "machine error: %s\n" msg;
+    exit 3
 
 let get_machine name =
   match Wo_machines.Presets.find name with
@@ -117,9 +149,10 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
   in
-  let run test machine runs seed =
+  let run test machine runs seed metrics =
     let test = or_die (get_litmus test) in
     let machine = or_die (get_machine machine) in
+    machine_errors @@ fun () ->
     let report = Wo_litmus.Runner.run ~runs ~base_seed:seed machine test in
     Format.printf "%a@.@." Wo_litmus.Runner.pp_report report;
     if not test.L.loops then begin
@@ -137,6 +170,43 @@ let litmus_cmd =
             Wo_prog.Outcome.pp o)
         report.Wo_litmus.Runner.histogram
     end;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      (* One extra run at the base seed supplies the per-run stall and
+         message detail the aggregate report does not carry. *)
+      let r = M.run machine ~seed test.L.program in
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"litmus"
+          [
+            ("test", Wo_obs.Json.String test.L.name);
+            ("machine", Wo_obs.Json.String machine.M.name);
+            ("runs", Wo_obs.Json.Int runs);
+            ("seed", Wo_obs.Json.Int seed);
+            ( "appears_sc",
+              Wo_obs.Json.Bool (Wo_litmus.Runner.appears_sc report) );
+            ( "distinct_outcomes",
+              Wo_obs.Json.Int (List.length report.Wo_litmus.Runner.histogram)
+            );
+            ( "violations",
+              Wo_obs.Json.Int (List.length report.Wo_litmus.Runner.violations)
+            );
+            ( "lemma1_failures",
+              Wo_obs.Json.Int report.Wo_litmus.Runner.lemma1_failures );
+            ( "total_cycles",
+              Wo_obs.Json.Int report.Wo_litmus.Runner.total_cycles );
+            ( "sample_run",
+              Wo_obs.Json.Obj
+                [
+                  ("seed", Wo_obs.Json.Int seed);
+                  ("cycles", Wo_obs.Json.Int r.M.cycles);
+                  ("stalls", Wo_obs.Stall.to_json r.M.stalls);
+                  ("messages", Wo_obs.Tap.to_json r.M.taps);
+                ] );
+          ]
+      in
+      Wo_obs.Metrics.write_file ~path doc;
+      Printf.printf "metrics: wrote %s\n" path);
     if Wo_litmus.Runner.appears_sc report then
       print_endline "verdict: appears sequentially consistent"
     else begin
@@ -147,7 +217,7 @@ let litmus_cmd =
   Cmd.v
     (Cmd.info "litmus"
        ~doc:"Run a litmus test on a machine and compare with the SC set")
-    Term.(const run $ test_arg $ machine_arg $ runs_arg $ seed_arg)
+    Term.(const run $ test_arg $ machine_arg $ runs_arg $ seed_arg $ metrics_arg)
 
 (* --- wo races ------------------------------------------------------------- *)
 
@@ -207,13 +277,18 @@ let workload_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see `wo list').")
   in
-  let run name machine runs seed =
+  let run name machine runs seed metrics =
     let w = or_die (get_workload name) in
     let machine = or_die (get_machine machine) in
+    machine_errors @@ fun () ->
     let cycles = ref 0 and failures = ref 0 in
+    let stalls = ref (Wo_obs.Stall.create ()) in
+    let taps = ref (Wo_obs.Tap.create ()) in
     for s = seed to seed + runs - 1 do
       let r = M.run machine ~seed:s w.Wo_workload.Workload.program in
       cycles := !cycles + r.M.cycles;
+      stalls := Wo_obs.Stall.merge !stalls r.M.stalls;
+      taps := Wo_obs.Tap.merge !taps r.M.taps;
       match w.Wo_workload.Workload.validate r.M.outcome with
       | Ok () -> ()
       | Error e ->
@@ -223,11 +298,29 @@ let workload_cmd =
     Printf.printf "%s on %s: %d runs, avg %d cycles, %d invariant failures\n"
       w.Wo_workload.Workload.name machine.M.name runs (!cycles / runs)
       !failures;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"workload"
+          [
+            ("workload", Wo_obs.Json.String w.Wo_workload.Workload.name);
+            ("machine", Wo_obs.Json.String machine.M.name);
+            ("runs", Wo_obs.Json.Int runs);
+            ("seed", Wo_obs.Json.Int seed);
+            ("avg_cycles", Wo_obs.Json.Int (!cycles / runs));
+            ("invariant_failures", Wo_obs.Json.Int !failures);
+            ("stalls", Wo_obs.Stall.to_json !stalls);
+            ("messages", Wo_obs.Tap.to_json !taps);
+          ]
+      in
+      Wo_obs.Metrics.write_file ~path doc;
+      Printf.printf "metrics: wrote %s\n" path);
     if !failures > 0 then exit 2
   in
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a workload and validate its invariant")
-    Term.(const run $ name_arg $ machine_arg $ runs_arg $ seed_arg)
+    Term.(const run $ name_arg $ machine_arg $ runs_arg $ seed_arg $ metrics_arg)
 
 (* --- wo trace -------------------------------------------------------------- *)
 
@@ -238,29 +331,112 @@ let trace_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
   in
-  let run test machine seed =
+  let format_arg =
+    let fmt =
+      Arg.enum [ ("pretty", `Pretty); ("perfetto", `Perfetto); ("json", `Json) ]
+    in
+    Arg.(
+      value & opt fmt `Pretty
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,pretty) (operation timeline, stall \
+             attribution and the recorded event log), $(b,perfetto) (Chrome \
+             trace-event JSON, loadable in Perfetto or chrome://tracing), or \
+             $(b,json) (a wo-metrics document with stall and \
+             protocol-message statistics).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of standard output.")
+  in
+  let stall_summary ppf stalls =
+    match Wo_obs.Stall.procs stalls with
+    | [] -> Format.fprintf ppf "stalls: none@."
+    | procs ->
+      Format.fprintf ppf "stall attribution (cycles):@.";
+      List.iter
+        (fun p ->
+          let parts =
+            Wo_obs.Stall.per_proc stalls ~proc:p
+            |> List.map (fun (re, c) ->
+                   Printf.sprintf "%s=%d" (Wo_obs.Stall.reason_name re) c)
+          in
+          Format.fprintf ppf "  P%d: %s  (total %d)@." p
+            (String.concat " " parts)
+            (Wo_obs.Stall.proc_total stalls ~proc:p))
+        procs;
+      Format.fprintf ppf "  all processors: %d@." (Wo_obs.Stall.total stalls)
+  in
+  let run test machine seed format out =
     let test = or_die (get_litmus test) in
     let machine = or_die (get_machine machine) in
-    let r = M.run machine ~seed test.L.program in
-    Printf.printf "one run of %s on %s (seed %d), commit order:\n\n"
-      test.L.name machine.M.name seed;
-    print_endline "issue/commit/globally-performed";
-    Format.printf "%a@." Wo_sim.Trace.pp r.M.trace;
-    Format.printf "outcome: %a@." Wo_prog.Outcome.pp r.M.outcome;
-    Printf.printf "cycles: %d\n" r.M.cycles;
-    match
-      M.check_lemma1
-        ~init:(Wo_prog.Program.initial_value test.L.program)
-        r
-    with
-    | Ok () -> print_endline "Lemma-1 oracle: satisfied"
-    | Error vs ->
-      Printf.printf "Lemma-1 oracle: %d violation(s)\n" (List.length vs);
-      List.iter (fun v -> Format.printf "  %a@." Wo_core.Lemma1.pp_violation v) vs
+    machine_errors @@ fun () ->
+    let emit s =
+      match out with
+      | None -> print_string s
+      | Some path ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    in
+    let recorder = Wo_obs.Recorder.create () in
+    let r =
+      Wo_obs.Recorder.with_sink recorder (fun () ->
+          M.run machine ~seed test.L.program)
+    in
+    match format with
+    | `Pretty ->
+      let b = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer b in
+      Format.fprintf ppf "one run of %s on %s (seed %d), commit order:@.@."
+        test.L.name machine.M.name seed;
+      Format.fprintf ppf "issue/commit/globally-performed@.";
+      Format.fprintf ppf "%a@." Wo_sim.Trace.pp r.M.trace;
+      Format.fprintf ppf "outcome: %a@." Wo_prog.Outcome.pp r.M.outcome;
+      Format.fprintf ppf "cycles: %d@." r.M.cycles;
+      stall_summary ppf r.M.stalls;
+      (match
+         M.check_lemma1
+           ~init:(Wo_prog.Program.initial_value test.L.program)
+           r
+       with
+      | Ok () -> Format.fprintf ppf "Lemma-1 oracle: satisfied@."
+      | Error vs ->
+        Format.fprintf ppf "Lemma-1 oracle: %d violation(s)@." (List.length vs);
+        List.iter
+          (fun v -> Format.fprintf ppf "  %a@." Wo_core.Lemma1.pp_violation v)
+          vs);
+      Format.fprintf ppf "@.recorded events (%d):@."
+        (Wo_obs.Recorder.length recorder);
+      Format.pp_print_flush ppf ();
+      Buffer.add_string b (Wo_obs.Export.pretty recorder);
+      emit (Buffer.contents b)
+    | `Perfetto -> emit (Wo_obs.Export.perfetto_string recorder ^ "\n")
+    | `Json ->
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"trace"
+          [
+            ("test", Wo_obs.Json.String test.L.name);
+            ("machine", Wo_obs.Json.String machine.M.name);
+            ("seed", Wo_obs.Json.Int seed);
+            ("cycles", Wo_obs.Json.Int r.M.cycles);
+            ("events", Wo_obs.Json.Int (Wo_obs.Recorder.length recorder));
+            ("stalls", Wo_obs.Stall.to_json r.M.stalls);
+            ("messages", Wo_obs.Tap.to_json r.M.taps);
+          ]
+      in
+      emit (Wo_obs.Json.to_string ~pretty:true doc ^ "\n")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Dump one run's operation timeline")
-    Term.(const run $ test_arg $ machine_arg $ seed_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Run once and export the timeline (pretty, Perfetto trace JSON, or \
+          metrics JSON)")
+    Term.(const run $ test_arg $ machine_arg $ seed_arg $ format_arg $ out_arg)
 
 (* --- wo litmus-file ----------------------------------------------------------- *)
 

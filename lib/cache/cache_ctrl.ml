@@ -62,8 +62,12 @@ type line = {
   mutable miss_outstanding : [ `No | `Get_s | `Get_x ];
   mutable pending_inv : bool;     (* Inv arrived while our GetS is in flight *)
   mutable early_write_done : bool;(* WriteDone overtook our DataX *)
-  mutable stalled_recalls : Msg.t list;  (* newest first *)
+  mutable stalled_recalls : (int * Msg.t) list;
+      (* (stall start, recall), newest first; the start time survives
+         re-stalling so reserve waits are attributed over the whole wait *)
   mutable putx_outstanding : bool;
+  mutable miss_started : int;      (* when the outstanding miss was sent *)
+  mutable reserve_set_at : int;    (* when the reserve bit was last set *)
 }
 
 type waiting_access = {
@@ -78,6 +82,10 @@ type t = {
   node : int;
   dir_node : int;
   stats : Wo_sim.Stats.t option;
+  stalls : Wo_obs.Stall.t option;
+      (* reserve-bit waits are attributed here, to the REQUESTING
+         processor, by the cache that holds the reserve (5.3) *)
+  obs : Wo_obs.Recorder.t;
   config : config;
   lines : (Wo_core.Event.loc, line) Hashtbl.t;
   mutable next_serial : int;
@@ -126,6 +134,15 @@ let min_outstanding t =
 
 (* --- remote recalls (the reserve-bit stall of 5.3) ------------------------ *)
 
+let attribute_reserve_wait t ~since ~requester =
+  match t.stalls with
+  | None -> ()
+  | Some stalls ->
+    let now = Wo_sim.Engine.now t.engine in
+    if now > since then
+      Wo_obs.Stall.add stalls ~sink:t.obs ~now ~proc:requester
+        Wo_obs.Stall.Reserve_wait (now - since)
+
 let rec service_stalled_recalls t (l : line) =
   if l.miss_outstanding = `No then
     match l.stalled_recalls with
@@ -134,11 +151,11 @@ let rec service_stalled_recalls t (l : line) =
       l.stalled_recalls <- [];
       (* Re-dispatch; a synchronization recall re-stalls if the line is
          still reserved. *)
-      List.iter (fun m -> handle_recall t l m) (List.rev recalls)
+      List.iter (fun (since, m) -> handle_recall t l ~since m) (List.rev recalls)
 
-and handle_recall t (l : line) msg =
+and handle_recall t (l : line) ~since msg =
   match msg with
-  | Msg.Recall { loc; mode; sync } -> (
+  | Msg.Recall { loc; mode; sync; requester } -> (
     match l.state with
     | Evicting ->
       (* Our write-back crossed the recall; answer from the evicting copy
@@ -155,15 +172,20 @@ and handle_recall t (l : line) msg =
            is what makes the reserve mechanism deadlock-free.  A recall
            can also overtake our own DataX on the unordered network, in
            which case it waits for the data. *)
-        l.stalled_recalls <- msg :: l.stalled_recalls
-      else
+        l.stalled_recalls <- (since, msg) :: l.stalled_recalls
+      else begin
+        (* A synchronization request that sat stalled here was the
+           REQUESTER's wait: charge the elapsed cycles to it (the paper's
+           "next synchronization operation stalls"). *)
+        if sync then attribute_reserve_wait t ~since ~requester;
         match l.state with
         | Exclusive_l ->
           send t (Msg.RecallAck { loc; value = l.value; from = t.node });
           l.state <-
             (match mode with Msg.For_share -> Shared_l | Msg.For_own -> Invalid)
         | Invalid | Shared_l | Evicting ->
-          protocol_error "P%d: recall for line %d not owned" t.node loc)
+          protocol_error "P%d: recall for line %d not owned" t.node loc
+      end)
   | _ -> assert false
 
 (* --- line bookkeeping ------------------------------------------------------ *)
@@ -232,6 +254,8 @@ let apply_op t (l : line) (op : op) ~(gp_immediate : bool) =
        && not (Hashtbl.mem t.outstanding op.serial))
   in
   if sets_reserve t op.kind && (other_outstanding || own_gp_deferred) then begin
+    (if Wo_obs.Recorder.enabled t.obs && not (reserved l) then
+       l.reserve_set_at <- now);
     l.reserve_watermark <- Some (op.serial + 1);
     stat t "cache.reserves"
   end;
@@ -266,6 +290,8 @@ and attempt t (l : line) =
     end
     else begin
       stat t "cache.misses";
+      if Wo_obs.Recorder.enabled t.obs then
+        l.miss_started <- Wo_sim.Engine.now t.engine;
       let sync = kind_is_sync op.kind in
       if needs_exclusive t op.kind then begin
         l.miss_outstanding <- `Get_x;
@@ -316,6 +342,8 @@ and allocate_line t loc =
           early_write_done = false;
           stalled_recalls = [];
           putx_outstanding = false;
+          miss_started = 0;
+          reserve_set_at = 0;
         }
       in
       Hashtbl.replace t.lines loc l;
@@ -398,6 +426,11 @@ and maybe_release_reserves t =
         (* Everything generated up to the reserving synchronization is
            globally performed: release and service stalled requests. *)
         l.reserve_watermark <- None;
+        (if Wo_obs.Recorder.enabled t.obs then
+           let now = Wo_sim.Engine.now t.engine in
+           Wo_obs.Recorder.span t.obs ~cat:Wo_obs.Recorder.Cache ~track:t.node
+             ~name:(Printf.sprintf "reserve.%d" l.lloc)
+             ~ts:l.reserve_set_at ~dur:(now - l.reserve_set_at));
         service_stalled_recalls t l
       | Some _ | None -> ())
     t.lines
@@ -418,9 +451,18 @@ let fire_gp_waiters (l : line) =
   l.gp_waiters <- [];
   List.iter (fun f -> f ()) ws
 
+let miss_span t (l : line) name =
+  if Wo_obs.Recorder.enabled t.obs then begin
+    let now = Wo_sim.Engine.now t.engine in
+    Wo_obs.Recorder.span t.obs ~cat:Wo_obs.Recorder.Cache ~track:t.node
+      ~name:(Printf.sprintf "%s.%d" name l.lloc)
+      ~ts:l.miss_started ~dur:(now - l.miss_started)
+  end
+
 let on_data_s t (l : line) value ~bound_at =
   if l.miss_outstanding <> `Get_s then
     protocol_error "P%d: DataS for line %d without GetS" t.node l.lloc;
+  miss_span t l "miss.read";
   l.miss_outstanding <- `No;
   l.state <- Shared_l;
   l.value <- value;
@@ -442,6 +484,7 @@ let on_data_s t (l : line) value ~bound_at =
 let on_data_x t (l : line) value acks_pending =
   if l.miss_outstanding <> `Get_x then
     protocol_error "P%d: DataX for line %d without GetX" t.node l.lloc;
+  miss_span t l "miss.own";
   l.miss_outstanding <- `No;
   l.state <- Exclusive_l;
   l.value <- value;
@@ -510,12 +553,13 @@ let dispatch t msg =
     | Msg.DataX { value; acks_pending; _ } -> on_data_x t l value acks_pending
     | Msg.Inv _ -> on_inv t l
     | Msg.WriteDone _ -> on_write_done t l
-    | Msg.Recall _ -> handle_recall t l msg
+    | Msg.Recall _ -> handle_recall t l ~since:(Wo_sim.Engine.now t.engine) msg
     | Msg.PutAck _ -> on_put_ack t l
     | Msg.GetS _ | Msg.GetX _ | Msg.InvAck _ | Msg.RecallAck _ | Msg.PutX _ ->
       protocol_error "P%d: cache cannot handle %a" t.node Msg.pp msg)
 
-let create ~engine ~fabric ~node ~dir_node ?stats config =
+let create ~engine ~fabric ~node ~dir_node ?stats ?stalls
+    ?(obs = Wo_obs.Recorder.disabled) config =
   let t =
     {
       engine;
@@ -523,6 +567,8 @@ let create ~engine ~fabric ~node ~dir_node ?stats config =
       node;
       dir_node;
       stats;
+      stalls;
+      obs;
       config;
       lines = Hashtbl.create 64;
       next_serial = 0;

@@ -75,9 +75,19 @@ val create :
   node:int ->
   dir_node:int ->
   ?stats:Wo_sim.Stats.t ->
+  ?stalls:Wo_obs.Stall.t ->
+  ?obs:Wo_obs.Recorder.t ->
   config ->
   t
-(** Creates the controller and connects it to fabric node [node]. *)
+(** Creates the controller and connects it to fabric node [node].
+
+    With [stalls], the cycles a remote {e synchronization} request spends
+    stalled on this cache's reserve bit are attributed to the requesting
+    processor under {!Wo_obs.Stall.Reserve_wait} — the paper's "the
+    processor issuing the (second) synchronization operation may stall"
+    (Section 5.3), measured from where the stalling actually happens.
+    With an enabled [obs] recorder, misses and reserve-bit windows become
+    [Cache]-category spans on track [node]. *)
 
 val access : t -> Wo_core.Event.loc -> access_kind -> completion -> unit
 (** Submit one access.  Accesses to the same line are serviced in

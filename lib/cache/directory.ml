@@ -15,6 +15,7 @@ type line = {
   mutable dstate : dstate;
   mutable value : Wo_core.Event.value;
   mutable trans : transaction option;
+  mutable trans_started : int;
   waiting : Msg.t Queue.t;
   mutable stale_recall_acks : int;
       (* RecallAcks to ignore because a concurrent write-back (PutX) already
@@ -26,6 +27,7 @@ type t = {
   fabric : Msg.t Wo_interconnect.Fabric.t;
   node : int;
   stats : Wo_sim.Stats.t option;
+  obs : Wo_obs.Recorder.t;
   process_cycles : int;
   initial : Wo_core.Event.loc -> Wo_core.Event.value;
   lines : (Wo_core.Event.loc, line) Hashtbl.t;
@@ -43,6 +45,7 @@ let line t loc =
         dstate = D_uncached;
         value = t.initial loc;
         trans = None;
+        trans_started = 0;
         waiting = Queue.create ();
         stale_recall_acks = 0;
       }
@@ -53,6 +56,27 @@ let line t loc =
 let send t ~dst msg = t.fabric.Wo_interconnect.Fabric.send ~src:t.node ~dst msg
 
 let protocol_error fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
+let open_trans t (l : line) trans =
+  l.trans <- Some trans;
+  if Wo_obs.Recorder.enabled t.obs then
+    l.trans_started <- Wo_sim.Engine.now t.engine
+
+let close_trans t (l : line) =
+  (if Wo_obs.Recorder.enabled t.obs then
+     match l.trans with
+     | None -> ()
+     | Some trans ->
+       let now = Wo_sim.Engine.now t.engine in
+       let name =
+         match trans with
+         | Wait_recall { kind = `S; _ } -> "recall.S"
+         | Wait_recall { kind = `X; _ } -> "recall.X"
+         | Wait_acks _ -> "inv_acks"
+       in
+       Wo_obs.Recorder.span t.obs ~cat:Wo_obs.Recorder.Dir ~track:l.loc ~name
+         ~ts:l.trans_started ~dur:(now - l.trans_started));
+  l.trans <- None
 
 (* Serve a request against a line with no outstanding transaction. *)
 let rec serve t (l : line) msg =
@@ -68,9 +92,9 @@ let rec serve t (l : line) msg =
       send t ~dst:requester
         (Msg.DataS { loc; value = l.value; bound_at = Wo_sim.Engine.now t.engine })
     | D_exclusive owner ->
-      l.trans <- Some (Wait_recall { kind = `S; requester; owner });
+      open_trans t l (Wait_recall { kind = `S; requester; owner });
       stat t "dir.recalls";
-      send t ~dst:owner (Msg.Recall { loc; mode = Msg.For_share; sync }))
+      send t ~dst:owner (Msg.Recall { loc; mode = Msg.For_share; sync; requester }))
   | Msg.GetX { loc; requester; sync } -> (
     match l.dstate with
     | D_uncached ->
@@ -81,9 +105,9 @@ let rec serve t (l : line) msg =
          when the owner evicted the line and re-requested it before its
          write-back reached us; the recall is answered from the evicting
          copy. *)
-      l.trans <- Some (Wait_recall { kind = `X; requester; owner });
+      open_trans t l (Wait_recall { kind = `X; requester; owner });
       stat t "dir.recalls";
-      send t ~dst:owner (Msg.Recall { loc; mode = Msg.For_own; sync })
+      send t ~dst:owner (Msg.Recall { loc; mode = Msg.For_own; sync; requester })
     | D_shared sharers ->
       let others = Int_set.remove requester sharers in
       l.dstate <- D_exclusive requester;
@@ -98,8 +122,8 @@ let rec serve t (l : line) msg =
             stat t "dir.invalidations";
             send t ~dst:sharer (Msg.Inv { loc }))
           others;
-        l.trans <-
-          Some (Wait_acks { requester; remaining = Int_set.cardinal others })
+        open_trans t l
+          (Wait_acks { requester; remaining = Int_set.cardinal others })
       end)
   | Msg.PutX { loc; value; from } ->
     (* Write-back with no transaction pending. *)
@@ -114,7 +138,7 @@ let rec serve t (l : line) msg =
     protocol_error "directory received %a outside any transaction" Msg.pp msg
 
 and complete_transaction t (l : line) =
-  l.trans <- None;
+  close_trans t l;
   (* Drain queued requests until one opens a new transaction (a request
      served from a Shared or Uncached line completes immediately and must
      not leave the rest of the queue stranded). *)
@@ -186,13 +210,15 @@ let handle t msg =
   Wo_sim.Engine.schedule t.engine ~delay:t.process_cycles (fun () ->
       dispatch t (line t (Msg.loc msg)) msg)
 
-let create ~engine ~fabric ~node ?stats ?(process_cycles = 1) ~initial () =
+let create ~engine ~fabric ~node ?stats ?(obs = Wo_obs.Recorder.disabled)
+    ?(process_cycles = 1) ~initial () =
   let t =
     {
       engine;
       fabric;
       node;
       stats;
+      obs;
       process_cycles = max 1 process_cycles;
       initial;
       lines = Hashtbl.create 64;

@@ -28,12 +28,16 @@ val create :
   fabric:Msg.t Wo_interconnect.Fabric.t ->
   node:int ->
   ?stats:Wo_sim.Stats.t ->
+  ?obs:Wo_obs.Recorder.t ->
   ?process_cycles:int ->
   initial:(Wo_core.Event.loc -> Wo_core.Event.value) ->
   unit ->
   t
 (** Creates the directory and connects it to fabric node [node].
-    [process_cycles] (default 1) is charged per handled message. *)
+    [process_cycles] (default 1) is charged per handled message.  With an
+    enabled [obs] recorder, every directory transaction (recall,
+    invalidation round) becomes a [Dir]-category span on the line's
+    track. *)
 
 val state_of : t -> Wo_core.Event.loc -> state
 

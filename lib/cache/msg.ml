@@ -17,7 +17,12 @@ type t =
     }
   | Inv of { loc : Wo_core.Event.loc }
   | InvAck of { loc : Wo_core.Event.loc; from : int }
-  | Recall of { loc : Wo_core.Event.loc; mode : recall_mode; sync : bool }
+  | Recall of {
+      loc : Wo_core.Event.loc;
+      mode : recall_mode;
+      sync : bool;
+      requester : int;
+    }
   | RecallAck of {
       loc : Wo_core.Event.loc;
       value : Wo_core.Event.value;
@@ -38,6 +43,19 @@ let loc = function
   | PutAck { loc } ->
     loc
 
+let tag = function
+  | GetS _ -> "GetS"
+  | GetX _ -> "GetX"
+  | DataS _ -> "DataS"
+  | DataX _ -> "DataX"
+  | Inv _ -> "Inv"
+  | InvAck _ -> "InvAck"
+  | Recall _ -> "Recall"
+  | RecallAck _ -> "RecallAck"
+  | WriteDone _ -> "WriteDone"
+  | PutX _ -> "PutX"
+  | PutAck _ -> "PutAck"
+
 let pp ppf m =
   let l = Wo_core.Event.pp_loc in
   match m with
@@ -51,10 +69,11 @@ let pp ppf m =
     Format.fprintf ppf "DataX(%a=%d, acks=%d)" l loc value acks_pending
   | Inv { loc } -> Format.fprintf ppf "Inv(%a)" l loc
   | InvAck { loc; from } -> Format.fprintf ppf "InvAck(%a) from %d" l loc from
-  | Recall { loc; mode; sync } ->
-    Format.fprintf ppf "Recall(%a, %s%s)" l loc
+  | Recall { loc; mode; sync; requester } ->
+    Format.fprintf ppf "Recall(%a, %s%s) for %d" l loc
       (match mode with For_share -> "share" | For_own -> "own")
       (if sync then ", sync" else "")
+      requester
   | RecallAck { loc; value; from } ->
     Format.fprintf ppf "RecallAck(%a=%d) from %d" l loc value from
   | WriteDone { loc } -> Format.fprintf ppf "WriteDone(%a)" l loc

@@ -34,9 +34,16 @@ type t =
     }
   | Inv of { loc : Wo_core.Event.loc }
   | InvAck of { loc : Wo_core.Event.loc; from : int }
-  | Recall of { loc : Wo_core.Event.loc; mode : recall_mode; sync : bool }
+  | Recall of {
+      loc : Wo_core.Event.loc;
+      mode : recall_mode;
+      sync : bool;
+      requester : int;
+    }
       (** [sync]: the request that triggered the recall is a synchronization
-          operation — only those stall on a reserve bit (Section 5.3) *)
+          operation — only those stall on a reserve bit (Section 5.3).
+          [requester] identifies the processor whose request is waiting, so
+          the cache holding the reserve can attribute the stalled cycles. *)
   | RecallAck of {
       loc : Wo_core.Event.loc;
       value : Wo_core.Event.value;
@@ -51,5 +58,9 @@ type t =
   | PutAck of { loc : Wo_core.Event.loc }
 
 val loc : t -> Wo_core.Event.loc
+
+val tag : t -> string
+(** The constructor name, e.g. ["GetS"] — the key message taps count
+    under. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,8 +1,9 @@
-type 'msg pending = { dst : int; msg : 'msg }
+type 'msg pending = { src : int; dst : int; enqueued : int; msg : 'msg }
 
 type 'msg t = {
   engine : Wo_sim.Engine.t;
   stats : Wo_sim.Stats.t option;
+  tap : ('msg -> src:int -> dst:int -> latency:int -> unit) option;
   transfer_cycles : int;
   handlers : (int, 'msg -> unit) Hashtbl.t;
   queue : 'msg pending Queue.t;
@@ -10,10 +11,11 @@ type 'msg t = {
   mutable sent : int;
 }
 
-let create ~engine ?stats ?(transfer_cycles = 2) () =
+let create ~engine ?stats ?tap ?(transfer_cycles = 2) () =
   {
     engine;
     stats;
+    tap;
     transfer_cycles;
     handlers = Hashtbl.create 17;
     queue = Queue.create ();
@@ -26,21 +28,26 @@ let connect t ~node handler = Hashtbl.replace t.handlers node handler
 let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.busy <- false
-  | Some { dst; msg } ->
+  | Some { src; dst; enqueued; msg } ->
     t.busy <- true;
     Wo_sim.Engine.schedule t.engine ~delay:t.transfer_cycles (fun () ->
+        (match t.tap with
+        | Some tap ->
+          (* queueing wait + transfer: total send-to-delivery latency *)
+          tap msg ~src ~dst ~latency:(Wo_sim.Engine.now t.engine - enqueued)
+        | None -> ());
         (match Hashtbl.find_opt t.handlers dst with
         | Some handler -> handler msg
         | None ->
           invalid_arg (Printf.sprintf "Bus.send: no handler for node %d" dst));
         start_next t)
 
-let send t ~src:_ ~dst msg =
+let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
   (match t.stats with
   | Some s -> Wo_sim.Stats.incr s "bus.messages"
   | None -> ());
-  Queue.add { dst; msg } t.queue;
+  Queue.add { src; dst; enqueued = Wo_sim.Engine.now t.engine; msg } t.queue;
   if not t.busy then start_next t
 
 let messages_sent t = t.sent

@@ -11,10 +11,13 @@ type 'msg t
 val create :
   engine:Wo_sim.Engine.t ->
   ?stats:Wo_sim.Stats.t ->
+  ?tap:('msg -> src:int -> dst:int -> latency:int -> unit) ->
   ?transfer_cycles:int ->
   unit ->
   'msg t
-(** [transfer_cycles] defaults to 2. *)
+(** [transfer_cycles] defaults to 2.  [tap] observes every message at
+    delivery with its total send-to-delivery latency (queueing wait
+    included). *)
 
 val connect : 'msg t -> node:int -> ('msg -> unit) -> unit
 

@@ -1,13 +1,14 @@
 type 'msg t = {
   engine : Wo_sim.Engine.t;
   stats : Wo_sim.Stats.t option;
+  tap : ('msg -> src:int -> dst:int -> latency:int -> unit) option;
   latency : Latency.t;
   handlers : (int, 'msg -> unit) Hashtbl.t;
   mutable sent : int;
 }
 
-let create ~engine ?stats ~latency () =
-  { engine; stats; latency; handlers = Hashtbl.create 17; sent = 0 }
+let create ~engine ?stats ?tap ~latency () =
+  { engine; stats; tap; latency; handlers = Hashtbl.create 17; sent = 0 }
 
 let connect t ~node handler = Hashtbl.replace t.handlers node handler
 
@@ -17,6 +18,9 @@ let send t ~src ~dst msg =
   | Some s -> Wo_sim.Stats.incr s "network.messages"
   | None -> ());
   let delay = max 1 (t.latency ~src ~dst) in
+  (match t.tap with
+  | Some tap -> tap msg ~src ~dst ~latency:delay
+  | None -> ());
   Wo_sim.Engine.schedule t.engine ~delay (fun () ->
       match Hashtbl.find_opt t.handlers dst with
       | Some handler -> handler msg

@@ -11,9 +11,12 @@ type 'msg t
 val create :
   engine:Wo_sim.Engine.t ->
   ?stats:Wo_sim.Stats.t ->
+  ?tap:('msg -> src:int -> dst:int -> latency:int -> unit) ->
   latency:Latency.t ->
   unit ->
   'msg t
+(** [tap] observes every message at send time with the transit latency
+    the network chose for it. *)
 
 val connect : 'msg t -> node:int -> ('msg -> unit) -> unit
 (** Register the handler for messages addressed to [node].  Connecting a

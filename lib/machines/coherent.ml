@@ -122,6 +122,12 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
   let run ~seed (program : Wo_prog.Program.t) : Machine.result =
     let engine = Wo_sim.Engine.create () in
     let stats = Wo_sim.Stats.create () in
+    let stalls = Wo_obs.Stall.create () in
+    let taps = Wo_obs.Tap.create () in
+    let obs = Wo_obs.Recorder.active () in
+    let tap msg ~src:_ ~dst:_ ~latency =
+      Wo_obs.Tap.record taps ~name:(Wo_cache.Msg.tag msg) ~latency
+    in
     let rng = Wo_sim.Rng.make seed in
     let num_procs = Wo_prog.Program.num_procs program in
     let num_caches =
@@ -134,7 +140,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
       match config.fabric with
       | Bus { transfer_cycles } ->
         Wo_interconnect.Fabric.of_bus
-          (Wo_interconnect.Bus.create ~engine ~stats ~transfer_cycles ())
+          (Wo_interconnect.Bus.create ~engine ~stats ~tap ~transfer_cycles ())
       | Net { base; jitter } ->
         let net_rng = Wo_sim.Rng.split rng in
         let latency =
@@ -143,7 +149,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
                (Wo_interconnect.Latency.jittered net_rng ~base ~jitter))
         in
         Wo_interconnect.Fabric.of_network
-          (Wo_interconnect.Network.create ~engine ~stats ~latency ())
+          (Wo_interconnect.Network.create ~engine ~stats ~tap ~latency ())
       | Net_spiky { base; jitter; spike_probability; spike_factor } ->
         let net_rng = Wo_sim.Rng.split rng in
         let latency =
@@ -153,17 +159,17 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
                   ~spike_probability ~spike_factor))
         in
         Wo_interconnect.Fabric.of_network
-          (Wo_interconnect.Network.create ~engine ~stats ~latency ())
+          (Wo_interconnect.Network.create ~engine ~stats ~tap ~latency ())
     in
     let directory =
-      Wo_cache.Directory.create ~engine ~fabric ~node:dir_node ~stats
+      Wo_cache.Directory.create ~engine ~fabric ~node:dir_node ~stats ~obs
         ~initial:(Wo_prog.Program.initial_value program)
         ()
     in
     let caches =
       Array.init num_caches (fun p ->
-          Cache_ctrl.create ~engine ~fabric ~node:p ~dir_node ~stats
-            config.cache)
+          Cache_ctrl.create ~engine ~fabric ~node:p ~dir_node ~stats ~stalls
+            ~obs config.cache)
     in
     let ctxs =
       Array.init num_procs (fun p ->
@@ -178,11 +184,14 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
     let cache_of ctx = caches.(ctx.cache_id) in
     let next_op_id = ref 0 in
     let ops_rev = ref [] in
+    (* [stall_at] back-dates the attribution span to end at [until]
+       (needed when a wait's two phases are only known after the fact);
+       [stall] ends it now. *)
+    let stall_at ctx_proc reason ~until cycles =
+      Wo_obs.Stall.add stalls ~sink:obs ~now:until ~proc:ctx_proc reason cycles
+    in
     let stall ctx_proc reason cycles =
-      if cycles > 0 then begin
-        Wo_sim.Stats.add stats (Printf.sprintf "P%d.stall.%s" ctx_proc reason) cycles;
-        Wo_sim.Stats.add stats "stall.total" cycles
-      end
+      stall_at ctx_proc reason ~until:(Wo_sim.Engine.now engine) cycles
     in
     let on_gp_zero ctx k =
       if ctx.gp_outstanding = 0 then k ()
@@ -203,7 +212,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
       let ctx = ctxs.(p) in
       let t0 = Wo_sim.Engine.now engine in
       on_gp_zero ctx (fun () ->
-          stall p "fence" (Wo_sim.Engine.now engine - t0);
+          stall p Wo_obs.Stall.Counter_drain (Wo_sim.Engine.now engine - t0);
           Proc_frontend.resume (frontend ctx) ~store:None ~delay:1)
     in
     let perform p (op : Proc_frontend.memory_op) =
@@ -260,7 +269,11 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
           | _ -> ());
           match resume_on with
           | `Commit ->
-            let reason = if sync then "sync" else "read" in
+            let reason =
+              if sync && not config.policy.sync_as_data then
+                Wo_obs.Stall.Sync_commit
+              else Wo_obs.Stall.Read_miss
+            in
             stall p reason (Wo_sim.Engine.now engine - r.issued);
             Proc_frontend.resume (frontend ctx) ~store:(resume_store ()) ~delay:1
           | `Gp | `Issue -> ()
@@ -270,7 +283,18 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
           decr_gp ctx;
           match resume_on with
           | `Gp ->
-            stall p "sync" (r.performed - r.issued);
+            (* A Definition-1 synchronization wait has two phases: getting
+               the operation committed, then holding the processor until it
+               is globally performed — the release-side gating Definition 2
+               (and the Section-5.3 hardware) dispenses with.  A read's
+               commit time is when its value was bound, possibly before
+               this operation issued; only the wait actually spent inside
+               [issued, performed] is attributable. *)
+            let commit_point = max r.issued r.committed in
+            stall_at p Wo_obs.Stall.Sync_commit ~until:commit_point
+              (commit_point - r.issued);
+            stall_at p Wo_obs.Stall.Release_gate ~until:r.performed
+              (r.performed - commit_point);
             Proc_frontend.resume (frontend ctx) ~store:(resume_store ()) ~delay:1
           | `Commit | `Issue -> ()
         in
@@ -289,8 +313,17 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
       let issue_gated () =
         if gated && ctx.gp_outstanding > 0 then begin
           let t0 = Wo_sim.Engine.now engine in
+          (* Waiting for earlier accesses to perform before ISSUING: for a
+             synchronization operation this is release gating (Definition
+             1, conditions 2/3); for a data operation it is plain
+             counter-drain ordering (the SC baseline). *)
+          let reason =
+            if sync && not config.policy.sync_as_data then
+              Wo_obs.Stall.Release_gate
+            else Wo_obs.Stall.Counter_drain
+          in
           on_gp_zero ctx (fun () ->
-              stall p "gate" (Wo_sim.Engine.now engine - t0);
+              stall p reason (Wo_sim.Engine.now engine - t0);
               issue ())
         end
         else issue ()
@@ -317,7 +350,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
           let t0 = Wo_sim.Engine.now engine in
           on_gp_zero ctx (fun () ->
               Cache_ctrl.on_counter_zero (cache_of ctx) (fun () ->
-                  stall p "migration" (Wo_sim.Engine.now engine - t0);
+                  stall p Wo_obs.Stall.Migration (Wo_sim.Engine.now engine - t0);
                   switch ()))
         end
     in
@@ -429,6 +462,13 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
           raise
             (Machine.Machine_error
                (Printf.sprintf "%s: operation %d never completed" name r.id));
+        if Wo_obs.Recorder.enabled obs then
+          Wo_obs.Recorder.span obs ~cat:Wo_obs.Recorder.Proc ~track:r.oproc
+            ~name:
+              (Format.asprintf "%a.%a" Wo_core.Event.pp_kind r.okind
+                 Wo_core.Event.pp_loc r.oloc)
+            ~ts:r.issued
+            ~dur:(max 0 (r.performed - r.issued));
         Wo_sim.Trace.add trace
           {
             Wo_sim.Trace.event =
@@ -445,7 +485,12 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
       trace;
       cycles = Wo_sim.Engine.now engine;
       proc_finish = Array.map (fun ctx -> ctx.finish_time) ctxs;
-      stats = Wo_sim.Stats.to_list stats;
+      stats =
+        Wo_sim.Stats.to_list stats
+        @ Wo_obs.Stall.to_stats stalls
+        @ Wo_obs.Tap.to_stats taps;
+      stalls;
+      taps;
     }
   in
   { Machine.name; description; sequentially_consistent; weakly_ordered_drf0; run }

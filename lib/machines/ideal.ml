@@ -14,6 +14,8 @@ let run ~seed program =
     cycles = Wo_sim.Trace.size trace;
     proc_finish = Array.make n (Wo_sim.Trace.size trace);
     stats = [];
+    stalls = Wo_obs.Stall.create ();
+    taps = Wo_obs.Tap.create ();
   }
 
 let machine =

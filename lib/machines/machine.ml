@@ -6,6 +6,8 @@ type result = {
   cycles : int;
   proc_finish : int array;
   stats : (string * int) list;
+  stalls : Wo_obs.Stall.t;
+  taps : Wo_obs.Tap.t;
 }
 
 type t = {
@@ -26,26 +28,10 @@ let check_lemma1 ?init r =
     ()
 
 let stall r ~proc reason =
-  let key = Printf.sprintf "P%d.stall.%s" proc reason in
-  match List.assoc_opt key r.stats with Some v -> v | None -> 0
+  match Wo_obs.Stall.reason_of_name reason with
+  | Some re -> Wo_obs.Stall.get r.stalls ~proc re
+  | None -> 0
 
-let is_stall_key key =
-  match String.index_opt key '.' with
-  | None -> false
-  | Some i ->
-    String.length key > i + 6 && String.sub key (i + 1) 6 = "stall."
-    || String.length key >= 6 && String.sub key 0 6 = "stall."
+let total_stalls r = Wo_obs.Stall.total r.stalls
 
-let total_stalls r =
-  List.fold_left
-    (fun acc (k, v) -> if is_stall_key k then acc + v else acc)
-    0 r.stats
-
-let proc_stalls r ~proc =
-  let prefix = Printf.sprintf "P%d.stall." proc in
-  let plen = String.length prefix in
-  List.fold_left
-    (fun acc (k, v) ->
-      if String.length k >= plen && String.sub k 0 plen = prefix then acc + v
-      else acc)
-    0 r.stats
+let proc_stalls r ~proc = Wo_obs.Stall.proc_total r.stalls ~proc

@@ -19,6 +19,15 @@ type result = {
   proc_finish : int array;
       (** per-processor time of executing its last instruction *)
   stats : (string * int) list;
+      (** counters, including the legacy [P<i>.stall.<reason>] view
+          derived from [stalls] *)
+  stalls : Wo_obs.Stall.t;
+      (** typed per-processor per-reason stall-cycle attribution; the
+          source of truth {!stall}, {!total_stalls} and {!proc_stalls}
+          read *)
+  taps : Wo_obs.Tap.t;
+      (** per-protocol-message-type counts and transit-latency
+          histograms *)
 }
 
 type t = {
@@ -46,10 +55,12 @@ val check_lemma1 :
     weak ordering. *)
 
 val total_stalls : result -> int
-(** Sum of all [stall.*] statistics. *)
+(** All attributed stall cycles. *)
 
 val stall : result -> proc:int -> string -> int
-(** [stall r ~proc reason] reads the [P<proc>.stall.<reason>] counter. *)
+(** [stall r ~proc reason] reads one account by its
+    {!Wo_obs.Stall.reason_name} key (e.g. ["release_gate"]); unknown
+    names read 0. *)
 
 val proc_stalls : result -> proc:int -> int
 (** All stall cycles attributed to one processor. *)

@@ -97,11 +97,21 @@ let memory_op_of_instr t instr =
   | Instr.Assign _ | Instr.If _ | Instr.While _ | Instr.Nop | Instr.Fence ->
     None
 
+(* Issue-time markers on the processor's track (spans covering each
+   operation's lifetime are emitted machine-side, where completion times
+   are known). *)
+let note_issue t what =
+  let obs = Wo_obs.Recorder.active () in
+  if Wo_obs.Recorder.enabled obs then
+    Wo_obs.Recorder.instant obs ~cat:Wo_obs.Recorder.Proc ~track:t.proc
+      ~name:what ~ts:(Wo_sim.Engine.now t.engine)
+
 let rec advance t =
   match t.code with
   | [] ->
     if t.status <> Done then begin
       t.status <- Done;
+      note_issue t "finish";
       t.on_finish ()
     end
   | instr :: rest -> (
@@ -109,12 +119,17 @@ let rec advance t =
     | Some op ->
       t.code <- rest;
       t.status <- Blocked;
+      (if Wo_obs.Recorder.enabled (Wo_obs.Recorder.active ()) then
+         note_issue t
+           (Format.asprintf "issue.%a.%a" Wo_core.Event.pp_kind op.kind
+              Wo_core.Event.pp_loc op.loc));
       t.perform (Access { op with seq = next_seq t })
     | None -> (
       match instr with
       | Instr.Fence ->
         t.code <- rest;
         t.status <- Blocked;
+        note_issue t "issue.fence";
         t.perform Fence
       | _ ->
         let env r = lookup t r in

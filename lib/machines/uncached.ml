@@ -30,6 +30,14 @@ type amsg =
   | M_write_ack of { tag : int; applied_at : int }
   | M_rmw_reply of { tag : int; old : Wo_core.Event.value; applied_at : int }
 
+let amsg_tag = function
+  | M_read _ -> "Read"
+  | M_write _ -> "Write"
+  | M_rmw _ -> "Rmw"
+  | M_read_reply _ -> "ReadReply"
+  | M_write_ack _ -> "WriteAck"
+  | M_rmw_reply _ -> "RmwReply"
+
 type op_rec = {
   id : int;
   oproc : int;
@@ -73,6 +81,12 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
   let run ~seed (program : Wo_prog.Program.t) : Machine.result =
     let engine = Wo_sim.Engine.create () in
     let stats = Wo_sim.Stats.create () in
+    let stalls = Wo_obs.Stall.create () in
+    let taps = Wo_obs.Tap.create () in
+    let obs = Wo_obs.Recorder.active () in
+    let tap msg ~src:_ ~dst:_ ~latency =
+      Wo_obs.Tap.record taps ~name:(amsg_tag msg) ~latency
+    in
     let rng = Wo_sim.Rng.make seed in
     let num_procs = Wo_prog.Program.num_procs program in
     let module_node loc = num_procs + (loc mod config.modules) in
@@ -80,17 +94,17 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
       match config.fabric with
       | Coherent.Bus { transfer_cycles } ->
         Wo_interconnect.Fabric.of_bus
-          (Wo_interconnect.Bus.create ~engine ~stats ~transfer_cycles ())
+          (Wo_interconnect.Bus.create ~engine ~stats ~tap ~transfer_cycles ())
       | Coherent.Net { base; jitter } ->
         let net_rng = Wo_sim.Rng.split rng in
         Wo_interconnect.Fabric.of_network
-          (Wo_interconnect.Network.create ~engine ~stats
+          (Wo_interconnect.Network.create ~engine ~stats ~tap
              ~latency:(Wo_interconnect.Latency.jittered net_rng ~base ~jitter)
              ())
       | Coherent.Net_spiky { base; jitter; spike_probability; spike_factor } ->
         let net_rng = Wo_sim.Rng.split rng in
         Wo_interconnect.Fabric.of_network
-          (Wo_interconnect.Network.create ~engine ~stats
+          (Wo_interconnect.Network.create ~engine ~stats ~tap
              ~latency:
                (Wo_interconnect.Latency.spiky net_rng ~base ~jitter
                   ~spike_probability ~spike_factor)
@@ -145,10 +159,8 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
     let ops_rev = ref [] in
     let by_tag : (int, op_rec * (op_rec -> unit)) Hashtbl.t = Hashtbl.create 64 in
     let stall p reason cycles =
-      if cycles > 0 then begin
-        Wo_sim.Stats.add stats (Printf.sprintf "P%d.stall.%s" p reason) cycles;
-        Wo_sim.Stats.add stats "stall.total" cycles
-      end
+      Wo_obs.Stall.add stalls ~sink:obs ~now:(Wo_sim.Engine.now engine)
+        ~proc:p reason cycles
     in
     let new_op p (op : Proc_frontend.memory_op) =
       let id = !next_op_id in
@@ -334,7 +346,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
               write_acked ctx r.oloc;
               check_quiet ctx;
               if wait then begin
-                stall p "write_ack" (now () - r.issued);
+                stall p Wo_obs.Stall.Write_ack (now () - r.issued);
                 Proc_frontend.resume (fe ()) ~store:None ~delay:1
               end)
         in
@@ -366,24 +378,27 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
                reached memory (dependency preservation). *)
             let t0 = now () in
             on_quiet ctx (fun () ->
-                stall p "buffer_drain" (now () - t0);
-                issue_read r ~reason:"read")
+                stall p Wo_obs.Stall.Buffer_drain (now () - t0);
+                issue_read r
+                  ~reason:(if sync then Wo_obs.Stall.Sync_commit else Wo_obs.Stall.Read_miss))
           | Some b, Some bc
             when (not bc.read_bypass) && not (Wo_cache.Write_buffer.is_empty b)
             ->
             (* No bypass: the read waits for the buffer to drain. *)
             let t0 = now () in
             Wo_cache.Write_buffer.on_empty b (fun () ->
-                stall p "buffer_drain" (now () - t0);
-                issue_read r ~reason:"read")
+                stall p Wo_obs.Stall.Buffer_drain (now () - t0);
+                issue_read r
+                  ~reason:(if sync then Wo_obs.Stall.Sync_commit else Wo_obs.Stall.Read_miss))
           | _ ->
             if loc_busy ctx r.oloc then
               (* A write of ours to this location is still on its way to
                  memory: forward its value. *)
               forward_read r (loc_state ctx r.oloc).last_value
-            else issue_read r ~reason:"read")
+            else issue_read r
+                  ~reason:(if sync then Wo_obs.Stall.Sync_commit else Wo_obs.Stall.Read_miss))
         | `Rmw f ->
-          let reason = if sync then "sync" else "rmw" in
+          let reason = if sync then Wo_obs.Stall.Sync_commit else Wo_obs.Stall.Rmw_wait in
           let rec gated () =
             let buffered =
               match ctx.buffer with
@@ -393,13 +408,13 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
             if buffered then
               let t0 = now () in
               on_quiet ctx (fun () ->
-                  stall p "rmw_order" (now () - t0);
+                  stall p Wo_obs.Stall.Rmw_order (now () - t0);
                   gated ())
             else if loc_busy ctx r.oloc then begin
               let t0 = now () in
               (loc_state ctx r.oloc).loc_waiters <-
                 (fun () ->
-                  stall p "rmw_order" (now () - t0);
+                  stall p Wo_obs.Stall.Rmw_order (now () - t0);
                   gated ())
                 :: (loc_state ctx r.oloc).loc_waiters
             end
@@ -423,7 +438,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
             else begin
               let t0 = now () in
               Wo_cache.Write_buffer.on_not_full b (fun () ->
-                  stall p "buffer_full" (now () - t0);
+                  stall p Wo_obs.Stall.Buffer_full (now () - t0);
                   ignore (Wo_cache.Write_buffer.push b entry);
                   r.committed <- now ();
                   Proc_frontend.resume (fe ()) ~store:None ~delay:1;
@@ -437,7 +452,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
            acknowledgement before synchronizing. *)
         let t0 = Wo_sim.Engine.now engine in
         on_quiet ctx (fun () ->
-            stall p "sync_fence" (Wo_sim.Engine.now engine - t0);
+            stall p Wo_obs.Stall.Release_gate (Wo_sim.Engine.now engine - t0);
             go ())
       end
       else go ()
@@ -483,7 +498,7 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
               | Proc_frontend.Fence ->
                 let t0 = Wo_sim.Engine.now engine in
                 on_quiet ctx (fun () ->
-                    stall p "fence" (Wo_sim.Engine.now engine - t0);
+                    stall p Wo_obs.Stall.Counter_drain (Wo_sim.Engine.now engine - t0);
                     drain p ctx;
                     Proc_frontend.resume (frontend ctx) ~store:None ~delay:1))
             ~on_finish:(fun () -> ctx.finish_time <- Wo_sim.Engine.now engine)
@@ -533,6 +548,13 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
           raise
             (Machine.Machine_error
                (Printf.sprintf "%s: operation %d never completed" name r.id));
+        if Wo_obs.Recorder.enabled obs then
+          Wo_obs.Recorder.span obs ~cat:Wo_obs.Recorder.Proc ~track:r.oproc
+            ~name:
+              (Format.asprintf "%a.%a" Wo_core.Event.pp_kind r.okind
+                 Wo_core.Event.pp_loc r.oloc)
+            ~ts:r.issued
+            ~dur:(max 0 (r.performed - r.issued));
         Wo_sim.Trace.add trace
           {
             Wo_sim.Trace.event =
@@ -549,7 +571,12 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
       trace;
       cycles = Wo_sim.Engine.now engine;
       proc_finish = Array.map (fun ctx -> ctx.finish_time) ctxs;
-      stats = Wo_sim.Stats.to_list stats;
+      stats =
+        Wo_sim.Stats.to_list stats
+        @ Wo_obs.Stall.to_stats stalls
+        @ Wo_obs.Tap.to_stats taps;
+      stalls;
+      taps;
     }
   in
   { Machine.name; description; sequentially_consistent; weakly_ordered_drf0; run }

@@ -1,0 +1,129 @@
+let cat_pid = function
+  | Recorder.Proc -> 1
+  | Recorder.Cache -> 2
+  | Recorder.Dir -> 3
+  | Recorder.Net -> 4
+  | Recorder.Enum -> 5
+
+let track_label cat track =
+  match cat with
+  | Recorder.Proc -> Printf.sprintf "P%d" track
+  | Recorder.Cache -> Printf.sprintf "cache %d" track
+  | Recorder.Dir -> Printf.sprintf "line %d" track
+  | Recorder.Net -> if track = 0 then "fabric" else Printf.sprintf "link %d" track
+  | Recorder.Enum -> Printf.sprintf "domain %d" track
+
+let all_categories =
+  [ Recorder.Proc; Recorder.Cache; Recorder.Dir; Recorder.Net; Recorder.Enum ]
+
+let base name cat track ts ph =
+  [
+    ("name", Json.String name);
+    ("cat", Json.String (Recorder.category_name cat));
+    ("ph", Json.String ph);
+    ("pid", Json.Int (cat_pid cat));
+    ("tid", Json.Int track);
+    ("ts", Json.Int ts);
+  ]
+
+let event_json = function
+  | Recorder.Span { name; cat; track; ts; dur } ->
+    Json.Obj (base name cat track ts "X" @ [ ("dur", Json.Int dur) ])
+  | Recorder.Instant { name; cat; track; ts } ->
+    Json.Obj (base name cat track ts "i" @ [ ("s", Json.String "t") ])
+  | Recorder.Counter { name; cat; track; ts; value } ->
+    Json.Obj
+      (base name cat track ts "C"
+      @ [ ("args", Json.Obj [ ("value", Json.Int value) ]) ])
+
+let meta ~pid ?tid name value =
+  let args = [ ("name", Json.String value) ] in
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "M");
+       ("pid", Json.Int pid);
+     ]
+    @ (match tid with Some t -> [ ("tid", Json.Int t) ] | None -> [])
+    @ [ ("args", Json.Obj args) ])
+
+let perfetto rec_ =
+  let evs = Recorder.events rec_ in
+  (* One process per category, one named thread per (category, track)
+     that actually appears. *)
+  let tracks = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cat, track =
+        match e with
+        | Recorder.Span { cat; track; _ }
+        | Recorder.Instant { cat; track; _ }
+        | Recorder.Counter { cat; track; _ } ->
+          (cat, track)
+      in
+      Hashtbl.replace tracks (cat_pid cat, track) (cat, track))
+    evs;
+  let used_cats =
+    List.filter
+      (fun c -> Hashtbl.fold (fun _ (c', _) acc -> acc || c' = c) tracks false)
+      all_categories
+  in
+  let process_meta =
+    List.map
+      (fun c -> meta ~pid:(cat_pid c) "process_name" (Recorder.category_name c))
+      used_cats
+  in
+  let thread_meta =
+    Hashtbl.fold (fun _ ct acc -> ct :: acc) tracks []
+    |> List.sort compare
+    |> List.map (fun (cat, track) ->
+           meta ~pid:(cat_pid cat) ~tid:track "thread_name"
+             (track_label cat track))
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (process_meta @ thread_meta @ List.map event_json evs) );
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let perfetto_string rec_ = Json.to_string ~pretty:true (perfetto rec_)
+
+let pretty rec_ =
+  let evs = Recorder.events rec_ in
+  let keyed =
+    List.mapi
+      (fun i e ->
+        let ts =
+          match e with
+          | Recorder.Span { ts; _ }
+          | Recorder.Instant { ts; _ }
+          | Recorder.Counter { ts; _ } ->
+            ts
+        in
+        (ts, i, e))
+      evs
+  in
+  let sorted = List.sort compare keyed in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (_, _, e) ->
+      (match e with
+      | Recorder.Span { name; cat; track; ts; dur } ->
+        Buffer.add_string b
+          (Printf.sprintf "%8d %-5s %-10s %s (+%d)" ts
+             (Recorder.category_name cat)
+             (track_label cat track) name dur)
+      | Recorder.Instant { name; cat; track; ts } ->
+        Buffer.add_string b
+          (Printf.sprintf "%8d %-5s %-10s %s" ts
+             (Recorder.category_name cat)
+             (track_label cat track) name)
+      | Recorder.Counter { name; cat; track; ts; value } ->
+        Buffer.add_string b
+          (Printf.sprintf "%8d %-5s %-10s %s = %d" ts
+             (Recorder.category_name cat)
+             (track_label cat track) name value));
+      Buffer.add_char b '\n')
+    sorted;
+  Buffer.contents b

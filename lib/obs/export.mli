@@ -1,0 +1,20 @@
+(** Trace export.
+
+    {!perfetto} renders a recorder's events as a Chrome trace-event
+    JSON document (the format Perfetto and [chrome://tracing] load):
+    each category becomes a process, each track a thread within it,
+    spans become complete ("X") events, instants "i", counters "C".
+    Timestamps are simulation cycles reported as microseconds, so one
+    cycle displays as one microsecond. *)
+
+val perfetto : Recorder.t -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ns"}] with process/
+    thread-name metadata events for every (category, track) that
+    appears. *)
+
+val perfetto_string : Recorder.t -> string
+(** {!perfetto} pretty-printed. *)
+
+val pretty : Recorder.t -> string
+(** A human-readable listing, one event per line, in time order
+    (emission order breaks ties). *)

@@ -1,0 +1,50 @@
+let schema_name = "wo-metrics"
+
+let schema_version = 1
+
+let envelope_keys = [ "schema"; "schema_version"; "experiment" ]
+
+let make ~experiment fields =
+  List.iter
+    (fun (k, _) ->
+      if List.mem k envelope_keys then
+        invalid_arg ("Metrics.make: payload field shadows envelope key " ^ k))
+    fields;
+  Json.Obj
+    (("schema", Json.String schema_name)
+    :: ("schema_version", Json.Int schema_version)
+    :: ("experiment", Json.String experiment)
+    :: fields)
+
+let write_file ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true doc);
+      output_char oc '\n')
+
+let validate doc =
+  match doc with
+  | Json.Obj _ -> (
+    match Json.member "schema" doc with
+    | Some (Json.String s) when s = schema_name -> (
+      match Json.member "schema_version" doc with
+      | Some (Json.Int v) when v >= 1 && v <= schema_version -> (
+        match Json.member "experiment" doc with
+        | Some (Json.String e) when e <> "" -> Ok ()
+        | Some _ -> Error "experiment must be a non-empty string"
+        | None -> Error "missing experiment")
+      | Some (Json.Int v) ->
+        Error (Printf.sprintf "unsupported schema_version %d" v)
+      | Some _ -> Error "schema_version must be an integer"
+      | None -> Error "missing schema_version")
+    | Some (Json.String s) -> Error (Printf.sprintf "unknown schema %S" s)
+    | Some _ -> Error "schema must be a string"
+    | None -> Error "missing schema")
+  | _ -> Error "metrics document must be an object"
+
+let experiment doc =
+  match Json.member "experiment" doc with
+  | Some (Json.String e) -> Some e
+  | _ -> None

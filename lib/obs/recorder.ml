@@ -1,0 +1,88 @@
+type category = Proc | Cache | Dir | Net | Enum
+
+let category_name = function
+  | Proc -> "proc"
+  | Cache -> "cache"
+  | Dir -> "dir"
+  | Net -> "net"
+  | Enum -> "enum"
+
+type event =
+  | Span of { name : string; cat : category; track : int; ts : int; dur : int }
+  | Instant of { name : string; cat : category; track : int; ts : int }
+  | Counter of {
+      name : string;
+      cat : category;
+      track : int;
+      ts : int;
+      value : int;
+    }
+
+let chunk_size = 4096
+
+type t = {
+  on : bool;
+  mutable chunk : event array;
+  mutable fill : int;
+  mutable full_rev : event array list;
+  mutable total : int;
+}
+
+let dummy = Instant { name = ""; cat = Proc; track = 0; ts = 0 }
+
+let create () =
+  {
+    on = true;
+    chunk = Array.make chunk_size dummy;
+    fill = 0;
+    full_rev = [];
+    total = 0;
+  }
+
+let disabled = { on = false; chunk = [||]; fill = 0; full_rev = []; total = 0 }
+
+let enabled t = t.on
+
+let push t e =
+  if t.fill = Array.length t.chunk then begin
+    t.full_rev <- t.chunk :: t.full_rev;
+    t.chunk <- Array.make chunk_size dummy;
+    t.fill <- 0
+  end;
+  t.chunk.(t.fill) <- e;
+  t.fill <- t.fill + 1;
+  t.total <- t.total + 1
+
+let span t ~cat ~track ~name ~ts ~dur =
+  if t.on then push t (Span { name; cat; track; ts; dur })
+
+let instant t ~cat ~track ~name ~ts =
+  if t.on then push t (Instant { name; cat; track; ts })
+
+let counter t ~cat ~track ~name ~ts ~value =
+  if t.on then push t (Counter { name; cat; track; ts; value })
+
+let length t = t.total
+
+let events t =
+  let chunks = List.rev (Array.sub t.chunk 0 t.fill :: t.full_rev) in
+  List.concat_map Array.to_list chunks
+
+let clear t =
+  if t.on then begin
+    t.chunk <- Array.make chunk_size dummy;
+    t.fill <- 0;
+    t.full_rev <- [];
+    t.total <- 0
+  end
+
+(* --- the ambient sink ------------------------------------------------------ *)
+
+let current = ref disabled
+
+let active () = !current
+
+let with_sink t f =
+  let old = !current in
+  current := t;
+  Fun.protect ~finally:(fun () -> current := old) f

@@ -1,0 +1,49 @@
+type t = (string, Hist.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let record t ~name ~latency =
+  let h =
+    match Hashtbl.find_opt t name with
+    | Some h -> h
+    | None ->
+      let h = Hist.create () in
+      Hashtbl.add t name h;
+      h
+  in
+  Hist.add h latency
+
+let to_list t =
+  Hashtbl.fold (fun name h acc -> (name, Hist.count h, h) :: acc) t []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let total t = Hashtbl.fold (fun _ h acc -> acc + Hist.count h) t 0
+
+let to_stats t =
+  List.map (fun (name, count, _) -> ("msg." ^ name, count)) (to_list t)
+
+let merge a b =
+  let t = create () in
+  let absorb (src : t) =
+    Hashtbl.iter
+      (fun name h ->
+        match Hashtbl.find_opt t name with
+        | Some existing -> Hashtbl.replace t name (Hist.merge existing h)
+        | None -> Hashtbl.add t name (Hist.merge (Hist.create ()) h))
+      src
+  in
+  absorb a;
+  absorb b;
+  t
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun (name, count, h) ->
+         Json.Obj
+           [
+             ("type", Json.String name);
+             ("count", Json.Int count);
+             ("latency", Hist.to_json h);
+           ])
+       (to_list t))

@@ -1,0 +1,26 @@
+(** Protocol-message taps: per-type counts and transit-latency
+    histograms.
+
+    The machines install one of these on their interconnect fabric; the
+    bus and network call back with every message's type tag and its
+    send-to-delivery latency (for the bus, queueing wait included). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> name:string -> latency:int -> unit
+
+val to_list : t -> (string * int * Hist.t) list
+(** [(type, count, latency histogram)], sorted by type name. *)
+
+val total : t -> int
+(** Messages recorded across all types. *)
+
+val merge : t -> t -> t
+
+val to_stats : t -> (string * int) list
+(** [("msg.<type>", count)] entries, sorted. *)
+
+val to_json : t -> Json.t
+(** [[{"type", "count", "latency": <hist>}...]]. *)

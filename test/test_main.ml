@@ -26,4 +26,5 @@ let () =
       ("lockset", Test_lockset.tests);
       ("cross-check", Test_cross_check.tests);
       ("report", Test_report.tests);
+      ("obs", Test_obs.tests);
     ]
