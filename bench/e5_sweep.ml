@@ -7,9 +7,14 @@
    Definition-1 hardware, the Section-5.3 implementation, and its DRF1
    refinement.  The expected shape: SC pays on every access; wo-old pays
    at synchronization boundaries; wo-new hides the release-side stall;
-   drf1 additionally removes read-only-synchronization serialization. *)
+   drf1 additionally removes read-only-synchronization serialization.
+
+   The cells run through the parallel sweep driver (Wo_workload.Sweep),
+   fanned out over OCaml domains; every cell is an independent seeded
+   simulation, so the table is identical for any domain count. *)
 
 module M = Wo_machines.Machine
+module Sweep = Wo_workload.Sweep
 
 let machines =
   [
@@ -21,45 +26,23 @@ let machines =
 
 let runs = 20
 
-let row (w : Wo_workload.Workload.t) label =
-  let validate_failures = ref 0 in
-  let cycles =
-    List.map
-      (fun m ->
-        let total = ref 0 in
-        for seed = 1 to runs do
-          let r = M.run m ~seed w.Wo_workload.Workload.program in
-          total := !total + r.M.cycles;
-          match w.Wo_workload.Workload.validate r.M.outcome with
-          | Ok () -> ()
-          | Error _ -> incr validate_failures
-        done;
-        !total / runs)
-      machines
-  in
-  (label :: List.map string_of_int cycles)
-  @ [ string_of_int !validate_failures ]
-
-let rows () =
+let workloads () =
   List.concat
     [
       List.map
         (fun (procs, work) ->
-          row
-            (Wo_workload.Workload.critical_section ~procs ~sections:4 ~work ())
-            (Printf.sprintf "critical-section p=%d work=%d" procs work))
+          ( Printf.sprintf "critical-section p=%d work=%d" procs work,
+            Wo_workload.Workload.critical_section ~procs ~sections:4 ~work () ))
         [ (2, 4); (2, 16); (4, 4); (4, 16); (8, 8) ];
       List.map
         (fun (items, batch) ->
-          row
-            (Wo_workload.Workload.producer_consumer ~items ~work:6 ~batch ())
-            (Printf.sprintf "producer-consumer items=%d batch=%d" items batch))
+          ( Printf.sprintf "producer-consumer items=%d batch=%d" items batch,
+            Wo_workload.Workload.producer_consumer ~items ~work:6 ~batch () ))
         [ (4, 1); (4, 6); (8, 6) ];
       List.map
         (fun procs ->
-          row
-            (Wo_workload.Workload.sharded_counter ~procs ~increments:12 ())
-            (Printf.sprintf "sharded-counter p=%d" procs))
+          ( Printf.sprintf "sharded-counter p=%d" procs,
+            Wo_workload.Workload.sharded_counter ~procs ~increments:12 () ))
         [ 2; 4; 8 ];
     ]
 
@@ -68,12 +51,35 @@ let headers =
   @ [ "invariant failures" ]
 
 let run () =
+  let labeled = workloads () in
+  let cells =
+    Array.of_list
+      (Sweep.workload_campaign ~runs ~machines (List.map snd labeled))
+  in
+  let nm = List.length machines in
+  let rows =
+    List.mapi
+      (fun i (label, _) ->
+        let row = Array.sub cells (i * nm) nm in
+        let failures =
+          Array.fold_left
+            (fun acc c -> acc + c.Sweep.invariant_failures)
+            0 row
+        in
+        (label
+        :: Array.to_list
+             (Array.map (fun c -> string_of_int c.Sweep.avg_cycles) row))
+        @ [ string_of_int failures ])
+      labeled
+  in
   Wo_report.Table.heading
-    "E5 / future work — quantitative comparison across the machine ladder \
-     (cycles, lower is better)";
+    (Printf.sprintf
+       "E5 / future work — quantitative comparison across the machine ladder \
+        (cycles, lower is better; %d domains)"
+       (Sweep.default_domains ()));
   Wo_report.Table.print
     ~align:Wo_report.Table.[ L; R; R; R; R; R ]
-    ~headers (rows ());
+    ~headers rows;
   print_endline
     "Expected shape: sc-dir slowest everywhere (every access waits to\n\
      perform globally); wo-old recovers most of it; wo-new beats wo-old\n\

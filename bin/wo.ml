@@ -322,6 +322,156 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Run a workload and validate its invariant")
     Term.(const run $ name_arg $ machine_arg $ runs_arg $ seed_arg $ metrics_arg)
 
+(* --- wo sweep -------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Number of OCaml domains to fan the campaign over; $(b,0) \
+             (the default) picks the recommended count for this host. \
+             The results are identical for every value.")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list string) [ "sc-dir"; "wo-old"; "wo-new"; "wo-new-drf1" ]
+      & info [ "m"; "machines" ] ~docv:"M1,M2,..."
+          ~doc:"Comma-separated machines to sweep (see `wo list').")
+  in
+  let workloads_arg =
+    Arg.(
+      value & flag
+      & info [ "workloads" ]
+          ~doc:"Also sweep the performance workloads (average cycles).")
+  in
+  let run jobs machine_names runs seed with_workloads metrics =
+    let machines = List.map (fun n -> or_die (get_machine n)) machine_names in
+    let domains = if jobs <= 0 then None else Some jobs in
+    machine_errors @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let campaign =
+      Wo_workload.Sweep.litmus_campaign ~runs ~base_seed:seed ?domains
+        ~machines Wo_litmus.Litmus.all
+    in
+    let litmus_secs = Unix.gettimeofday () -. t0 in
+    Wo_report.Table.heading
+      (Printf.sprintf
+         "Litmus sweep: %d tests x %d machines, %d runs each (%d domains, \
+          %.2fs; %d SC sets enumerated, %d cells reused one)"
+         (List.length Wo_litmus.Litmus.all)
+         (List.length machines) runs campaign.Wo_workload.Sweep.domains_used
+         litmus_secs campaign.Wo_workload.Sweep.sc_sets
+         campaign.Wo_workload.Sweep.sc_reused);
+    Wo_report.Table.print
+      ~headers:
+        [ "test"; "machine"; "expected"; "appears SC"; "outside SC"; "lemma1" ]
+      (List.map
+         (fun (c : Wo_workload.Sweep.litmus_cell) ->
+           [
+             c.Wo_workload.Sweep.test.L.name;
+             c.Wo_workload.Sweep.machine.M.name;
+             (if c.Wo_workload.Sweep.expected_sc then "SC" else "-");
+             (if Wo_litmus.Runner.appears_sc c.Wo_workload.Sweep.report then
+                "yes"
+              else "no");
+             string_of_int
+               (List.length c.Wo_workload.Sweep.report.Wo_litmus.Runner.violations);
+             string_of_int
+               c.Wo_workload.Sweep.report.Wo_litmus.Runner.lemma1_failures;
+           ])
+         campaign.Wo_workload.Sweep.cells);
+    let failures = Wo_workload.Sweep.failures campaign in
+    let workload_cells =
+      if not with_workloads then []
+      else begin
+        let t1 = Unix.gettimeofday () in
+        let cells =
+          Wo_workload.Sweep.workload_campaign ~runs:(min runs 20)
+            ~base_seed:seed ?domains ~machines Wo_workload.Workload.all
+        in
+        Wo_report.Table.heading
+          (Printf.sprintf "Workload sweep (avg cycles over %d runs, %.2fs)"
+             (min runs 20)
+             (Unix.gettimeofday () -. t1));
+        Wo_report.Table.print
+          ~headers:[ "workload"; "machine"; "avg cycles"; "invariant failures" ]
+          (List.map
+             (fun (c : Wo_workload.Sweep.workload_cell) ->
+               [
+                 c.Wo_workload.Sweep.workload.Wo_workload.Workload.name;
+                 c.Wo_workload.Sweep.w_machine.M.name;
+                 string_of_int c.Wo_workload.Sweep.avg_cycles;
+                 string_of_int c.Wo_workload.Sweep.invariant_failures;
+               ])
+             cells);
+        cells
+      end
+    in
+    let workload_failures =
+      List.filter
+        (fun (c : Wo_workload.Sweep.workload_cell) ->
+          c.Wo_workload.Sweep.invariant_failures > 0)
+        workload_cells
+    in
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"sweep"
+          [
+            ("runs", Wo_obs.Json.Int runs);
+            ("seed", Wo_obs.Json.Int seed);
+            ( "domains",
+              Wo_obs.Json.Int campaign.Wo_workload.Sweep.domains_used );
+            ( "litmus_cells",
+              Wo_obs.Json.Int
+                (List.length campaign.Wo_workload.Sweep.cells) );
+            ("litmus_wall_s", Wo_obs.Json.Float litmus_secs);
+            ("sc_sets", Wo_obs.Json.Int campaign.Wo_workload.Sweep.sc_sets);
+            ( "sc_reused",
+              Wo_obs.Json.Int campaign.Wo_workload.Sweep.sc_reused );
+            ("contract_failures", Wo_obs.Json.Int (List.length failures));
+            ( "workload_cells",
+              Wo_obs.Json.Int (List.length workload_cells) );
+            ( "workload_invariant_failures",
+              Wo_obs.Json.Int (List.length workload_failures) );
+          ]
+      in
+      Wo_obs.Metrics.write_file ~path doc;
+      Printf.printf "metrics: wrote %s\n" path);
+    if failures <> [] || workload_failures <> [] then begin
+      List.iter
+        (fun (c : Wo_workload.Sweep.litmus_cell) ->
+          Printf.printf
+            "CONTRACT BROKEN: %s on %s promised SC but was not\n"
+            c.Wo_workload.Sweep.test.L.name
+            c.Wo_workload.Sweep.machine.M.name)
+        failures;
+      List.iter
+        (fun (c : Wo_workload.Sweep.workload_cell) ->
+          Printf.printf "INVARIANT BROKEN: %s on %s (%d runs)\n"
+            c.Wo_workload.Sweep.workload.Wo_workload.Workload.name
+            c.Wo_workload.Sweep.w_machine.M.name
+            c.Wo_workload.Sweep.invariant_failures)
+        workload_failures;
+      exit 2
+    end
+    else
+      print_endline
+        "verdict: every machine kept its appears-SC promise on every test"
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the full litmus x machine campaign in parallel across OCaml \
+          domains")
+    Term.(
+      const run $ jobs_arg $ machines_arg $ runs_arg $ seed_arg
+      $ workloads_arg $ metrics_arg)
+
 (* --- wo trace -------------------------------------------------------------- *)
 
 let trace_cmd =
@@ -523,6 +673,7 @@ let main =
       litmus_file_cmd;
       races_cmd;
       workload_cmd;
+      sweep_cmd;
       trace_cmd;
       delays_cmd;
     ]

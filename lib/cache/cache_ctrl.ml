@@ -56,8 +56,18 @@ type line = {
          processors' reserve bits transitively wait on each other's
          stalled synchronization misses. *)
   mutable last_use : int;
-  mutable gp_outstanding : bool;  (* committed local write awaiting WriteDone *)
-  mutable gp_waiters : (unit -> unit) list;
+  mutable wd_outstanding : int;
+      (* WriteDones still expected for this line.  More than one can be in
+         flight at once: an exclusive grant's WriteDone may still be
+         travelling when the line is recalled away, re-requested, and
+         granted again with fresh invalidations.  Transactions on one line
+         are serialized at the directory, so a later grant's WriteDone is
+         only ever sent after every earlier transaction completed —
+         receiving ANY WriteDone therefore licenses completing the OLDEST
+         outstanding grant period. *)
+  mutable gp_batches : (unit -> unit) list list;
+      (* waiters grouped per outstanding WriteDone, newest period first;
+         invariant: [List.length gp_batches = wd_outstanding] *)
   ops : op Queue.t;
   mutable miss_outstanding : [ `No | `Get_s | `Get_x ];
   mutable pending_inv : bool;     (* Inv arrived while our GetS is in flight *)
@@ -197,11 +207,11 @@ let touch t l =
 let line_removable (l : line) =
   Queue.is_empty l.ops
   && l.miss_outstanding = `No
-  && (not l.gp_outstanding)
+  && l.wd_outstanding = 0
   && (not (reserved l))
   && l.stalled_recalls = []
   && (not l.putx_outstanding)
-  && l.gp_waiters = []
+  && l.gp_batches = []
 
 let resident t = Hashtbl.length t.lines
 
@@ -241,7 +251,7 @@ let apply_op t (l : line) (op : op) ~(gp_immediate : bool) =
       (Some old, true, now)
   in
   touch t l;
-  let own_gp_deferred = wrote && ((not gp_immediate) || l.gp_outstanding) in
+  let own_gp_deferred = wrote && ((not gp_immediate) || l.wd_outstanding > 0) in
   (* "If at this time its counter has a positive value, i.e., there are
      outstanding accesses, the reserve bit of the cache line with the
      synchronization variable is set."  With per-access serials the
@@ -265,8 +275,11 @@ let apply_op t (l : line) (op : op) ~(gp_immediate : bool) =
     (* Either this write's own invalidations are outstanding, or a previous
        write to this line is not yet globally performed (a stale shared
        copy elsewhere may still be readable); globally performed when the
-       directory's WriteDone arrives. *)
-    l.gp_waiters <- op.completion.on_gp :: l.gp_waiters
+       newest outstanding period's WriteDone arrives. *)
+    match l.gp_batches with
+    | batch :: rest ->
+      l.gp_batches <- (op.completion.on_gp :: batch) :: rest
+    | [] -> assert false (* own_gp_deferred implies wd_outstanding > 0 *)
   else op.completion.on_gp ()
 
 (* --- issue path: attempts, allocation, eviction, serial accounting --------- *)
@@ -334,8 +347,8 @@ and allocate_line t loc =
           value_bound_at = 0;
           reserve_watermark = None;
           last_use = 0;
-          gp_outstanding = false;
-          gp_waiters = [];
+          wd_outstanding = 0;
+          gp_batches = [];
           ops = Queue.create ();
           miss_outstanding = `No;
           pending_inv = false;
@@ -446,10 +459,13 @@ let pop_head_op (l : line) =
   | op -> op
   | exception Queue.Empty -> protocol_error "line %d: response with no pending op" l.lloc
 
-let fire_gp_waiters (l : line) =
-  let ws = l.gp_waiters in
-  l.gp_waiters <- [];
-  List.iter (fun f -> f ()) ws
+(* Complete the OLDEST outstanding grant period (see [wd_outstanding]). *)
+let fire_oldest_gp_batch (l : line) =
+  match List.rev l.gp_batches with
+  | [] -> ()
+  | oldest :: newer_rev ->
+    l.gp_batches <- List.rev newer_rev;
+    List.iter (fun f -> f ()) oldest
 
 let miss_span t (l : line) name =
   if Wo_obs.Recorder.enabled t.obs then begin
@@ -492,20 +508,28 @@ let on_data_x t (l : line) value acks_pending =
   l.putx_outstanding <- false;
   let acks_outstanding = acks_pending > 0 && not l.early_write_done in
   l.early_write_done <- false;
-  if acks_outstanding then l.gp_outstanding <- true;
+  if acks_outstanding then begin
+    l.wd_outstanding <- l.wd_outstanding + 1;
+    l.gp_batches <- [] :: l.gp_batches
+  end;
   let op = pop_head_op l in
   apply_op t l op ~gp_immediate:(not acks_outstanding);
   service_stalled_recalls t l;
   schedule_next t l
 
 let on_write_done _t (l : line) =
-  if l.miss_outstanding = `Get_x then
-    (* WriteDone overtook the DataX on the unordered network. *)
-    l.early_write_done <- true
-  else begin
-    l.gp_outstanding <- false;
-    fire_gp_waiters l
+  (* A pending period always takes precedence: with our own GetX in
+     flight AND an earlier grant's WriteDone still expected, an arriving
+     WriteDone could be either — but per-line transactions are serialized
+     at the directory, so whichever was sent, every transaction up to and
+     including the oldest outstanding period has completed.  Only when no
+     period is outstanding can this be the in-flight grant's WriteDone
+     overtaking its DataX on the unordered network. *)
+  if l.wd_outstanding > 0 then begin
+    l.wd_outstanding <- l.wd_outstanding - 1;
+    fire_oldest_gp_batch l
   end
+  else if l.miss_outstanding = `Get_x then l.early_write_done <- true
 
 let on_inv t (l : line) =
   match l.state with
@@ -631,7 +655,7 @@ let debug_dump t =
     (fun loc l ->
       Buffer.add_string b
         (Printf.sprintf
-           "  loc=%d st=%s v=%d res=%s ops=%d miss=%s gp_out=%b pinv=%b ewd=%b stalled=%d putx=%b gpw=%d\n"
+           "  loc=%d st=%s v=%d res=%s ops=%d miss=%s wd_out=%d pinv=%b ewd=%b stalled=%d putx=%b gpw=%d\n"
            loc
            (match l.state with
            | Invalid -> "I" | Shared_l -> "S" | Exclusive_l -> "E" | Evicting -> "Ev")
@@ -641,8 +665,8 @@ let debug_dump t =
            | Some w -> string_of_int w)
            (Queue.length l.ops)
            (match l.miss_outstanding with `No -> "-" | `Get_s -> "GetS" | `Get_x -> "GetX")
-           l.gp_outstanding l.pending_inv l.early_write_done
+           l.wd_outstanding l.pending_inv l.early_write_done
            (List.length l.stalled_recalls) l.putx_outstanding
-           (List.length l.gp_waiters)))
+           (List.fold_left (fun n b -> n + List.length b) 0 l.gp_batches)))
     t.lines;
   Buffer.contents b

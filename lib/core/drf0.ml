@@ -28,7 +28,9 @@ let obeys ?model ?augment exn = races ?model ?augment exn = []
 
 let check ?(model = Sync_model.drf0) ?(augment = true) exn =
   let augmented = if augment then Execution.augment exn else exn in
-  { execution = augmented; model; races = races ~model ~augment exn }
+  (* [augmented] is already augmented (idempotently so), so the race scan
+     must not run [Execution.augment] a second time. *)
+  { execution = augmented; model; races = races ~model ~augment:false augmented }
 
 let program_obeys ?(model = Sync_model.drf0) ?augment executions =
   let rec go seq =

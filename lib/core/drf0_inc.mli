@@ -1,0 +1,67 @@
+(** Path-incremental DRF0/DRF1 checking.
+
+    The closure-based checker ({!Drf0.races}) pays an O(n^3) Warshall
+    closure plus an O(n^2) conflict scan per complete execution.  This
+    module maintains the same happens-before judgement *incrementally*
+    along an enumeration DFS path: vector clocks per processor, last
+    write/read per (location, processor), and a synchronization clock per
+    location.  [push] appends one event in O(P) and reports a race the
+    moment one exists; [pop] undoes the latest push in O(1), so the
+    enumerator can branch with O(depth) total bookkeeping and prune a
+    subtree at the first racing event — every completion of a racy prefix
+    stays racy because happens-before between two events depends only on
+    the prefix up to the later one.
+
+    Augmentation ({!Execution.augment}) is not replayed: the virtual
+    processor's events are synchronization-chained to every real event,
+    so they never race in an idealized execution and the verdict over
+    real events equals the closure-based verdict over the augmented
+    execution.  {!Drf0.races} remains the oracle; the agreement is
+    property-tested in the suite. *)
+
+type mode =
+  | Mode_drf0  (** every same-location sync pair synchronizes *)
+  | Mode_drf1  (** Section 6: only write->read sync pairs order others *)
+
+val mode_of_model : Sync_model.t -> mode option
+(** The incremental mode implementing a synchronization model, if this
+    checker supports it ({!Sync_model.drf0} and {!Sync_model.drf1});
+    [None] means callers must fall back to the closure-based oracle. *)
+
+type t
+
+val create : ?mode:mode -> nprocs:int -> unit -> t
+(** A checker for executions over processors [0 .. nprocs-1] (default
+    mode [Mode_drf0]).  @raise Invalid_argument if [nprocs <= 0]. *)
+
+val push : t -> Event.t -> Drf0.race option
+(** Append the next event of the current path.  Returns the race this
+    event completes, if any: [e2] is the new event and [e1] is, among the
+    {e latest} conflicting unordered access of each other processor, the
+    one with the smallest event id.  (Only the latest access per
+    (location, processor) is retained; that loses no verdicts because
+    program order is happens-before, so when any access of a processor
+    races with [e2] its latest conflicting access does too.)  The state
+    is updated whether or not a race is found.
+    @raise Invalid_argument if the event's processor is out of range. *)
+
+val pop : t -> unit
+(** Undo the most recent un-popped {!push} (backtrack one edge).
+    @raise Invalid_argument if nothing is pushed. *)
+
+val depth : t -> int
+(** Number of pushes not yet popped. *)
+
+val reset : t -> unit
+(** Pop everything. *)
+
+val first_race :
+  ?mode:mode -> nprocs:int -> Event.t list -> Drf0.race option
+(** Fold {!push} over a complete event list with a fresh checker. *)
+
+val check_execution : ?mode:mode -> Execution.t -> Drf0.race option
+(** {!first_race} over an execution's events (processor count inferred).
+    Same verdict as [Drf0.races ~augment:true] being non-empty, but
+    without building the closure; the returned race has the smallest
+    second endpoint among all races (the event that creates the first
+    race), with [e1] chosen as documented for {!push}. *)

@@ -11,25 +11,32 @@ type report = {
   sc_coverage : int;
 }
 
-let histogram_of outcomes =
-  let tbl = Hashtbl.create 16 in
-  List.iter
-    (fun o ->
-      let key = Format.asprintf "%a" Wo_prog.Outcome.pp o in
-      match Hashtbl.find_opt tbl key with
-      | Some (o, n) -> Hashtbl.replace tbl key (o, n + 1)
-      | None -> Hashtbl.replace tbl key (o, 1))
-    outcomes;
-  Hashtbl.fold (fun _ entry acc -> entry :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+module Outcome_map = Map.Make (Wo_prog.Outcome)
 
-let run ?(runs = 100) ?(base_seed = 1) ?check_lemma1 machine (test : Litmus.t) =
+let histogram_of outcomes =
+  let counts =
+    List.fold_left
+      (fun m o ->
+        Outcome_map.update o
+          (function None -> Some 1 | Some n -> Some (n + 1))
+          m)
+      Outcome_map.empty outcomes
+  in
+  (* Most frequent first; ties in outcome order ([bindings] is sorted and
+     the sort is stable), so the histogram is fully deterministic. *)
+  Outcome_map.bindings counts |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let run ?(runs = 100) ?(base_seed = 1) ?check_lemma1 ?sc_outcomes machine
+    (test : Litmus.t) =
   let check_lemma1 =
     match check_lemma1 with Some b -> b | None -> test.Litmus.drf0
   in
   let sc_outcomes =
-    if test.Litmus.loops then []
-    else Wo_prog.Enumerate.outcomes test.Litmus.program
+    match sc_outcomes with
+    | Some outcomes -> outcomes
+    | None ->
+      if test.Litmus.loops then []
+      else Wo_prog.Enumerate.outcomes test.Litmus.program
   in
   let observed = ref [] in
   let lemma1_failures = ref 0 in

@@ -458,10 +458,21 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
     let trace = Wo_sim.Trace.create () in
     List.iter
       (fun r ->
-        if r.committed < 0 || r.performed < 0 then
+        if r.committed < 0 || r.performed < 0 then begin
+          let dumps =
+            String.concat ""
+              (Array.to_list (Array.map Cache_ctrl.debug_dump caches))
+          in
           raise
             (Machine.Machine_error
-               (Printf.sprintf "%s: operation %d never completed" name r.id));
+               (Printf.sprintf
+                  "%s: operation %d (P%d seq %d %s loc %d, committed=%d \
+                   performed=%d) never completed\n%s%s"
+                  name r.id r.oproc r.oseq
+                  (Format.asprintf "%a" Wo_core.Event.pp_kind r.okind)
+                  r.oloc r.committed r.performed dumps
+                  (Wo_cache.Directory.debug_dump directory)))
+        end;
         if Wo_obs.Recorder.enabled obs then
           Wo_obs.Recorder.span obs ~cat:Wo_obs.Recorder.Proc ~track:r.oproc
             ~name:

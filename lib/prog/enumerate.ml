@@ -25,7 +25,8 @@ let dependent (a : Interp.access) (b : Interp.access) =
   a.Interp.sync || b.Interp.sync
   || (a.Interp.loc = b.Interp.loc && (a.Interp.writes || b.Interp.writes))
 
-(* Children of a drained, non-final node, with the sleep set each child
+(* Children of a drained, non-final node, with the event taken on the edge
+   (consumed by the incremental DRF0 checker) and the sleep set each child
    inherits.  [sleep] lists processors whose pending step is already covered
    by a sibling subtree elsewhere in the search; exploring them here would
    only revisit Mazurkiewicz-equivalent interleavings.
@@ -43,7 +44,12 @@ let children_of ~strategy state sleep =
   | _ ->
     Some
       (match strategy with
-      | Naive -> List.map (fun p -> (fst (Interp.step state p), [])) procs
+      | Naive ->
+        List.map
+          (fun p ->
+            let state', ev = Interp.step state p in
+            (state', ev, []))
+          procs
       | Por ->
         (* After [drain_silent] every runnable processor has a pending
            memory operation, so [peek] cannot return [None]. *)
@@ -61,9 +67,8 @@ let children_of ~strategy state sleep =
                   (fun q -> not (dependent ap (List.assoc q pending)))
                   sleep_now
               in
-              expand (p :: sleep_now)
-                ((fst (Interp.step state p), child_sleep) :: acc)
-                rest
+              let state', ev = Interp.step state p in
+              expand (p :: sleep_now) ((state', ev, child_sleep) :: acc) rest
         in
         expand sleep [] pending)
 
@@ -83,7 +88,7 @@ let execution_seq ~strategy ~max_events ~max_executions (root, root_sleep) =
       Seq.Cons (Interp.execution state, Seq.empty)
     | Some kids ->
       Seq.concat_map
-        (fun (state', sleep') -> leaves state' sleep')
+        (fun (state', _ev, sleep') -> leaves state' sleep')
         (List.to_seq kids)
         ()
   in
@@ -126,7 +131,7 @@ let collect_from ~strategy ~max_events ~max_executions ~raise_on_limit roots =
       incr produced;
       outcomes := Outcome_set.add (Interp.outcome state) !outcomes;
       if !produced >= max_executions then limit ()
-    | Some kids -> List.iter (fun (state', sleep') -> go state' sleep') kids
+    | Some kids -> List.iter (fun (state', _ev, sleep') -> go state' sleep') kids
   in
   (try List.iter (fun (state, sleep) -> go state sleep) roots with Stop -> ());
   ( Outcome_set.elements !outcomes,
@@ -178,7 +183,7 @@ let expand_frontier ~strategy ~max_events ~target ~on_leaf program =
                 []
               | Some kids ->
                 expanded := true;
-                kids)
+                List.map (fun (state', _ev, sleep') -> (state', sleep')) kids)
           tasks
       in
       if !expanded then rounds next else next
@@ -242,13 +247,149 @@ let outcomes_par ?(strategy = Por) ?(max_events = 64)
 
 (* --- DRF0 quantification -------------------------------------------------- *)
 
-let check_drf0 ?(strategy = Por) ?model ?max_events ?max_executions program =
-  let seq =
-    match strategy with
-    | Naive -> executions ?max_events ?max_executions program
-    | Por -> executions_por ?max_events ?max_executions program
+(* Search-effort counters shared by the two checker implementations so the
+   benches can compare them like-for-like. *)
+type counter = { mutable c_states : int; mutable c_executions : int }
+
+let counter_stats c =
+  { executions = c.c_executions; states = c.c_states; truncated = false }
+
+(* Closure-based checking (the oracle): walk the same DFS and run the full
+   Warshall-closure race scan on every complete execution. *)
+let check_root_closure ~strategy ?model ~max_events ~max_executions counter
+    (root, root_sleep) =
+  let produced = ref 0 in
+  let exception Racy of Wo_core.Drf0.report in
+  let rec go state sleep =
+    counter.c_states <- counter.c_states + 1;
+    let state = drain_silent state in
+    if Interp.events_so_far state > max_events then raise Limit_exceeded;
+    match children_of ~strategy state sleep with
+    | None ->
+      incr produced;
+      counter.c_executions <- counter.c_executions + 1;
+      if !produced > max_executions then raise Limit_exceeded;
+      let r = Wo_core.Drf0.check ?model (Interp.execution state) in
+      if r.Wo_core.Drf0.races <> [] then raise (Racy r)
+    | Some kids -> List.iter (fun (state', _ev, sleep') -> go state' sleep') kids
   in
-  Wo_core.Drf0.program_obeys ?model seq
+  try
+    go root root_sleep;
+    Ok ()
+  with Racy r -> Error r
+
+(* Complete a (racy) prefix into a full execution for the report.  The
+   round-robin rotation dodges the trivial livelock a fixed-processor
+   completion would hit on spin loops; the step budget is a backstop — a
+   truncated completion still contains the racy prefix, which is all the
+   report needs. *)
+let complete_for_report ~max_events state =
+  let rec go state rot budget =
+    if budget = 0 then state
+    else
+      match Interp.runnable state with
+      | [] -> state
+      | procs ->
+        let p = List.nth procs (rot mod List.length procs) in
+        go (fst (Interp.step state p)) (rot + 1) (budget - 1)
+  in
+  go state 0 ((4 * max_events) + 64)
+
+(* Path-incremental checking: thread a vector-clock checker through the
+   DFS, pushing each edge's event and popping on backtrack.  The first
+   racing event condemns every completion of its prefix (happens-before
+   between two events depends only on the prefix up to the later one), so
+   the subtree is pruned on the spot and the per-leaf closure disappears.
+   The racy prefix is completed round-robin and re-checked with the
+   closure oracle so callers get the same report shape either way. *)
+let check_root_inc ~nprocs ~mode ~strategy ?model ~max_events ~max_executions
+    counter (root, root_sleep) =
+  let inc = Wo_core.Drf0_inc.create ~mode ~nprocs () in
+  let exception Racy of Wo_core.Drf0.report in
+  let racy state =
+    let completed = complete_for_report ~max_events state in
+    raise (Racy (Wo_core.Drf0.check ?model (Interp.execution completed)))
+  in
+  let produced = ref 0 in
+  let rec go state sleep =
+    counter.c_states <- counter.c_states + 1;
+    let state = drain_silent state in
+    if Interp.events_so_far state > max_events then raise Limit_exceeded;
+    match children_of ~strategy state sleep with
+    | None ->
+      incr produced;
+      counter.c_executions <- counter.c_executions + 1;
+      if !produced > max_executions then raise Limit_exceeded
+    | Some kids ->
+      List.iter
+        (fun (state', ev, sleep') ->
+          match ev with
+          | None -> go state' sleep'
+          | Some e -> (
+            match Wo_core.Drf0_inc.push inc e with
+            | Some _race -> racy state'
+            | None ->
+              go state' sleep';
+              Wo_core.Drf0_inc.pop inc))
+        kids
+  in
+  try
+    (* Roots handed over by the parallel frontier are mid-tree states:
+       replay their prefix so the clocks agree with the path, catching
+       races that already occurred inside the frontier region. *)
+    List.iter
+      (fun e ->
+        match Wo_core.Drf0_inc.push inc e with
+        | None -> ()
+        | Some _ -> racy root)
+      (Wo_core.Execution.events (Interp.execution root));
+    go root root_sleep;
+    Ok ()
+  with Racy r -> Error r
+
+(* The incremental fast path covers the two built-in models; any other
+   synchronization model falls back to the closure-based oracle. *)
+let incremental_mode model =
+  match model with
+  | None -> Some Wo_core.Drf0_inc.Mode_drf0
+  | Some m -> Wo_core.Drf0_inc.mode_of_model m
+
+let check_root ~nprocs ~strategy ?model ~max_events ~max_executions counter
+    root =
+  match incremental_mode model with
+  | Some mode ->
+    check_root_inc ~nprocs ~mode ~strategy ?model ~max_events ~max_executions
+      counter root
+  | None ->
+    check_root_closure ~strategy ?model ~max_events ~max_executions counter
+      root
+
+let check_drf0_with_stats ?(strategy = Por) ?model ?(max_events = 64)
+    ?(max_executions = 1_000_000) program =
+  let counter = { c_states = 0; c_executions = 0 } in
+  let result =
+    check_root ~nprocs:(Program.num_procs program) ~strategy ?model
+      ~max_events ~max_executions counter
+      (Interp.init program, [])
+  in
+  (result, counter_stats counter)
+
+let check_drf0 ?strategy ?model ?max_events ?max_executions program =
+  fst (check_drf0_with_stats ?strategy ?model ?max_events ?max_executions program)
+
+let check_drf0_closure_with_stats ?(strategy = Por) ?model ?(max_events = 64)
+    ?(max_executions = 1_000_000) program =
+  let counter = { c_states = 0; c_executions = 0 } in
+  let result =
+    check_root_closure ~strategy ?model ~max_events ~max_executions counter
+      (Interp.init program, [])
+  in
+  (result, counter_stats counter)
+
+let check_drf0_closure ?strategy ?model ?max_events ?max_executions program =
+  fst
+    (check_drf0_closure_with_stats ?strategy ?model ?max_events
+       ?max_executions program)
 
 let check_drf0_par ?(strategy = Por) ?model ?(max_events = 64)
     ?(max_executions = 1_000_000) ?domains program =
@@ -277,14 +418,18 @@ let check_drf0_par ?(strategy = Por) ?model ?(max_events = 64)
        violation is deterministic for a given domain count: the racy
        subtree with the smallest frontier index wins. *)
     let indexed = List.mapi (fun i t -> (i, t)) tasks in
-    let check_root root =
-      Wo_core.Drf0.program_obeys ?model
-        (execution_seq ~strategy ~max_events ~max_executions root)
+    let nprocs = Program.num_procs program in
+    let check_one root =
+      (* Per-root counter: [max_executions] is enforced per subtree, matching
+         the per-domain semantics of [outcomes_par]. *)
+      let counter = { c_states = 0; c_executions = 0 } in
+      check_root ~nprocs ~strategy ?model ~max_events ~max_executions counter
+        root
     in
     let worker roots =
       List.find_map
         (fun (i, root) ->
-          match check_root root with Ok () -> None | Error r -> Some (i, r))
+          match check_one root with Ok () -> None | Error r -> Some (i, r))
         roots
     in
     let results = map_domains worker (split_round_robin num_domains indexed) in

@@ -87,8 +87,46 @@ val check_drf0 :
 (** Definition 3: the program obeys the model iff every idealized execution
     is race-free.  Returns a racy execution's report otherwise (under [Por],
     the representative of the racy trace; a program is racy under [Por] iff
-    it is racy under [Naive]).  @raise Limit_exceeded as for
+    it is racy under [Naive]).
+
+    For the built-in {!Wo_core.Sync_model.drf0} and
+    {!Wo_core.Sync_model.drf1} models the check is {e path-incremental}:
+    a vector-clock checker ({!Wo_core.Drf0_inc}) rides the DFS, detects a
+    race at the event that creates it, and prunes the whole subtree below
+    the racy prefix — no per-execution closure is built.  Racy programs
+    still get a full closure-based report for the completed racy
+    execution.  Custom models fall back to {!check_drf0_closure}.
+    @raise Limit_exceeded as for {!executions}. *)
+
+val check_drf0_with_stats :
+  ?strategy:strategy ->
+  ?model:Wo_core.Sync_model.t ->
+  ?max_events:int -> ?max_executions:int ->
+  Program.t ->
+  (unit, Wo_core.Drf0.report) result * stats
+(** {!check_drf0} with the search-effort counters ([states] counts DFS
+    nodes visited; with incremental checking a racy program visits only
+    the nodes up to its first racy prefix). *)
+
+val check_drf0_closure :
+  ?strategy:strategy ->
+  ?model:Wo_core.Sync_model.t ->
+  ?max_events:int -> ?max_executions:int ->
+  Program.t ->
+  (unit, Wo_core.Drf0.report) result
+(** The closure-based oracle: same DFS, but every complete execution is
+    checked with {!Wo_core.Drf0.check} (O(n{^ 3}) closure per leaf) and no
+    subtree is pruned early.  Same verdict as {!check_drf0}; retained for
+    property tests and the E11 bench.  @raise Limit_exceeded as for
     {!executions}. *)
+
+val check_drf0_closure_with_stats :
+  ?strategy:strategy ->
+  ?model:Wo_core.Sync_model.t ->
+  ?max_events:int -> ?max_executions:int ->
+  Program.t ->
+  (unit, Wo_core.Drf0.report) result * stats
+(** {!check_drf0_closure} with search-effort counters. *)
 
 val check_drf0_par :
   ?strategy:strategy ->

@@ -1,40 +1,4 @@
-type t = int array
-
-let zero n =
-  if n < 0 then invalid_arg "Vector_clock.zero: negative size";
-  Array.make n 0
-
-let size = Array.length
-
-let get t p = t.(p)
-
-let tick t p =
-  let c = Array.copy t in
-  c.(p) <- c.(p) + 1;
-  c
-
-let check_sizes a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Vector_clock: size mismatch"
-
-let join a b =
-  check_sizes a b;
-  Array.mapi (fun i v -> max v b.(i)) a
-
-let leq a b =
-  (* Hot in the race detector (one call per conflict check); bail out at the
-     first violating component instead of scanning the whole vector. *)
-  check_sizes a b;
-  let n = Array.length a in
-  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
-  go 0
-
-let equal a b = a = b
-
-let compare = Stdlib.compare
-
-let concurrent a b = (not (leq a b)) && not (leq b a)
-
-let pp ppf t =
-  Format.fprintf ppf "<%s>"
-    (String.concat "," (Array.to_list (Array.map string_of_int t)))
+(* Promoted to wo_core so the path-incremental DRF0 checker
+   (Wo_core.Drf0_inc) can share the implementation; re-exported here so
+   the race-detection layer's historical name keeps working. *)
+include Wo_core.Vector_clock

@@ -1,32 +1,8 @@
-(** Vector clocks over a fixed set of processors.
+(** Vector clocks — an alias of {!Wo_core.Vector_clock}.
 
-    The substrate for on-the-fly happens-before race detection (the paper
-    relies on Netzer–Miller-style dynamic detection for programs too large
-    to enumerate). *)
+    The implementation moved to [wo_core] so the core checkers (notably
+    the path-incremental DRF0 checker {!Wo_core.Drf0_inc}) can use it
+    without a dependency cycle; this module re-exports it unchanged for
+    the race-detection layer. *)
 
-type t
-
-val zero : int -> t
-(** [zero n] for [n] processors. *)
-
-val size : t -> int
-
-val get : t -> int -> int
-
-val tick : t -> int -> t
-(** Increment one processor's component. *)
-
-val join : t -> t -> t
-(** Pointwise maximum.  @raise Invalid_argument on size mismatch. *)
-
-val leq : t -> t -> bool
-(** Pointwise less-or-equal: [leq a b] iff a happened-before-or-equals b. *)
-
-val equal : t -> t -> bool
-
-val compare : t -> t -> int
-
-val concurrent : t -> t -> bool
-(** Neither [leq a b] nor [leq b a]. *)
-
-val pp : Format.formatter -> t -> unit
+include module type of Wo_core.Vector_clock

@@ -4,24 +4,46 @@
     time order, FIFO among events scheduled for the same tick, which keeps
     simulations deterministic. *)
 
-type t
+module type S = sig
+  type t
 
-type stop_reason = [ `Idle | `Time_limit | `Event_limit ]
+  type stop_reason = [ `Idle | `Time_limit | `Event_limit ]
 
-val create : unit -> t
+  val create : unit -> t
 
-val now : t -> int
-(** Current simulation time (cycles). *)
+  val now : t -> int
+  (** Current simulation time (cycles). *)
 
-val schedule : t -> delay:int -> (unit -> unit) -> unit
-(** Run the closure [delay] cycles from now ([delay >= 0]). *)
+  val schedule : t -> delay:int -> (unit -> unit) -> unit
+  (** Run the closure [delay] cycles from now ([delay >= 0]). *)
 
-val schedule_at : t -> time:int -> (unit -> unit) -> unit
-(** @raise Invalid_argument if [time] is in the past. *)
+  val schedule_at : t -> time:int -> (unit -> unit) -> unit
+  (** @raise Invalid_argument if [time] is in the past. *)
 
-val pending : t -> int
-(** Number of events not yet executed. *)
+  val pending : t -> int
+  (** Number of events not yet executed. *)
 
-val run : ?max_time:int -> ?max_events:int -> t -> stop_reason
-(** Execute events until the queue drains or a limit is hit.
-    [max_events] (default 50 million) is a deadlock/livelock backstop. *)
+  val run : ?max_time:int -> ?max_events:int -> t -> stop_reason
+  (** Execute events until the queue drains or a limit is hit.
+      [max_events] (default 50 million) is a deadlock/livelock backstop. *)
+end
+
+(** The default implementation: an array-backed binary min-heap keyed by
+    [(time, sequence-number)].  [schedule]/[schedule_at] are O(log n) with
+    no per-event allocation beyond the heap slot; the previous
+    map-of-lists implementation paid O(log n) in balanced-tree rebuilds
+    plus a list allocation per event and a [List.rev] per tick.
+
+    Event order is identical to {!Reference}: the sequence number rises
+    monotonically, so same-tick events run FIFO, and an event scheduled
+    for the current tick from inside a handler runs after every event of
+    the tick's current batch — exactly the batch semantics of the map
+    implementation.  The only divergence is when [max_events] fires: the
+    heap stops exactly at the limit, while {!Reference} finishes the
+    current tick's batch first. *)
+include S
+
+module Reference : S
+(** The original [Map.Make(Int)]-of-lists engine, kept as the oracle the
+    heap is property-tested against (same schedule sequence, same
+    execution order) and as the baseline for the E11 hot-path bench. *)

@@ -1,0 +1,150 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Strided fan-out over an option array: worker [k] takes items
+   k, k+d, 2d+k, ...  Cheap, deterministic, and free of work-queue
+   synchronization; sweep cells are coarse enough that stride imbalance
+   is noise.  The calling domain doubles as worker 0 so [domains:1]
+   costs no spawn at all. *)
+let parallel_map ~domains f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let d = max 1 (min domains n) in
+  if d = 1 then Array.iteri (fun i x -> out.(i) <- Some (f x)) arr
+  else begin
+    let worker k () =
+      let i = ref k in
+      while !i < n do
+        out.(!i) <- Some (f arr.(!i));
+        i := !i + d
+      done
+    in
+    let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join spawned
+  end;
+  Array.to_list (Array.map Option.get out)
+
+(* --- litmus campaigns ----------------------------------------------------- *)
+
+type litmus_cell = {
+  test : Wo_litmus.Litmus.t;
+  machine : Wo_machines.Machine.t;
+  report : Wo_litmus.Runner.report;
+  expected_sc : bool;
+  ok : bool;
+}
+
+type litmus_campaign = {
+  cells : litmus_cell list;
+  domains_used : int;
+  sc_sets : int;
+  sc_reused : int;
+}
+
+(* Structural identity of the parts of a program the SC outcome set
+   depends on.  [Instr.t] and the initial/observable lists are pure data
+   (no closures), so marshalling them is a sound content hash. *)
+let program_key (p : Wo_prog.Program.t) =
+  Digest.string
+    (Marshal.to_string
+       ( p.Wo_prog.Program.threads,
+         p.Wo_prog.Program.initial,
+         p.Wo_prog.Program.observable )
+       [])
+
+let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  (* Phase 1: one SC enumeration per distinct loop-free program, fanned
+     out, then frozen into a lookup table every cell reads. *)
+  let keyed =
+    List.map
+      (fun (t : Wo_litmus.Litmus.t) ->
+        (t, program_key t.Wo_litmus.Litmus.program))
+      tests
+  in
+  let distinct =
+    List.fold_left
+      (fun acc (t, key) ->
+        if t.Wo_litmus.Litmus.loops || List.mem_assoc key acc then acc
+        else (key, t) :: acc)
+      [] keyed
+    |> List.rev
+  in
+  let sc_table =
+    parallel_map ~domains:d
+      (fun (key, (t : Wo_litmus.Litmus.t)) ->
+        (key, Wo_prog.Enumerate.outcomes t.Wo_litmus.Litmus.program))
+      distinct
+  in
+  (* Phase 2: the test × machine product, each cell an independent
+     seeded simulation batch. *)
+  let jobs =
+    List.concat_map (fun (t, key) -> List.map (fun m -> (t, key, m)) machines)
+      keyed
+  in
+  let cells =
+    parallel_map ~domains:d
+      (fun ((t : Wo_litmus.Litmus.t), key, (m : Wo_machines.Machine.t)) ->
+        let sc_outcomes = List.assoc_opt key sc_table in
+        let report =
+          Wo_litmus.Runner.run ?runs ?base_seed ?sc_outcomes m t
+        in
+        let expected_sc =
+          m.Wo_machines.Machine.sequentially_consistent
+          || (m.Wo_machines.Machine.weakly_ordered_drf0
+             && t.Wo_litmus.Litmus.drf0)
+        in
+        {
+          test = t;
+          machine = m;
+          report;
+          expected_sc;
+          ok = (not expected_sc) || Wo_litmus.Runner.appears_sc report;
+        })
+      jobs
+  in
+  {
+    cells;
+    domains_used = d;
+    sc_sets = List.length distinct;
+    sc_reused =
+      List.length (List.filter (fun (_, k, _) -> List.mem_assoc k sc_table) jobs)
+      - List.length distinct;
+  }
+
+let failures c = List.filter (fun cell -> not cell.ok) c.cells
+
+(* --- workload campaigns --------------------------------------------------- *)
+
+type workload_cell = {
+  workload : Workload.t;
+  w_machine : Wo_machines.Machine.t;
+  avg_cycles : int;
+  invariant_failures : int;
+}
+
+let workload_campaign ?(runs = 20) ?(base_seed = 1) ?domains ~machines
+    workloads =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let jobs =
+    List.concat_map (fun w -> List.map (fun m -> (w, m)) machines) workloads
+  in
+  parallel_map ~domains:d
+    (fun ((w : Workload.t), (m : Wo_machines.Machine.t)) ->
+      let total = ref 0 in
+      let bad = ref 0 in
+      for seed = base_seed to base_seed + runs - 1 do
+        let r = Wo_machines.Machine.run m ~seed w.Workload.program in
+        total := !total + r.Wo_machines.Machine.cycles;
+        match w.Workload.validate r.Wo_machines.Machine.outcome with
+        | Ok () -> ()
+        | Error _ -> incr bad
+      done;
+      {
+        workload = w;
+        w_machine = m;
+        avg_cycles = !total / runs;
+        invariant_failures = !bad;
+      })
+    jobs

@@ -1,0 +1,79 @@
+(** Parallel sweep campaigns.
+
+    The quantitative experiments run cartesian products — litmus tests ×
+    machines × seeds, workloads × machines × seeds — where every cell is
+    an independent deterministic simulation (each [Machine.run] builds
+    its own engine and RNG from the seed).  This driver fans the cells
+    out across OCaml 5 [Domain]s and memoizes the expensive shared
+    prefix: the SC outcome set of a litmus program, which is identical
+    for every machine and seed and dominates the cost of small sweeps.
+
+    Results are independent of the domain count: cells are pure
+    functions of (test, machine, runs, base_seed), and the output keeps
+    the input product order. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map with the calls spread over [min domains
+    (length items)] domains (strided assignment; the calling domain is
+    one of the workers).  [f] must be safe to call from multiple
+    domains at once. *)
+
+(** {1 Litmus campaigns} *)
+
+type litmus_cell = {
+  test : Wo_litmus.Litmus.t;
+  machine : Wo_machines.Machine.t;
+  report : Wo_litmus.Runner.report;
+  expected_sc : bool;
+      (** the machine promises SC behaviour on this test: it is
+          sequentially consistent outright, or weakly ordered and the
+          test is DRF0 *)
+  ok : bool;
+      (** the promise holds: [not expected_sc || Runner.appears_sc] *)
+}
+
+type litmus_campaign = {
+  cells : litmus_cell list;  (** in [tests × machines] product order *)
+  domains_used : int;
+  sc_sets : int;  (** distinct programs whose SC set was enumerated *)
+  sc_reused : int;  (** cells that reused a memoized SC set *)
+}
+
+val litmus_campaign :
+  ?runs:int ->
+  ?base_seed:int ->
+  ?domains:int ->
+  machines:Wo_machines.Machine.t list ->
+  Wo_litmus.Litmus.t list ->
+  litmus_campaign
+(** Run every test on every machine ([runs] seeded runs each, defaults
+    as {!Wo_litmus.Runner.run}).  SC outcome sets are enumerated once
+    per distinct program — in parallel — then shared read-only by all
+    cells. *)
+
+val failures : litmus_campaign -> litmus_cell list
+(** Cells whose SC promise was broken (the CI contract: must be []). *)
+
+(** {1 Workload campaigns} *)
+
+type workload_cell = {
+  workload : Workload.t;
+  w_machine : Wo_machines.Machine.t;
+  avg_cycles : int;
+  invariant_failures : int;
+      (** runs whose outcome failed the workload's validator *)
+}
+
+val workload_campaign :
+  ?runs:int ->
+  ?base_seed:int ->
+  ?domains:int ->
+  machines:Wo_machines.Machine.t list ->
+  Workload.t list ->
+  workload_cell list
+(** Run every workload on every machine ([runs] defaults to 20),
+    averaging cycle counts over seeds; in [workloads × machines]
+    product order. *)

@@ -220,6 +220,20 @@ let test_random_lock_programs_run_everywhere () =
       done)
     P.weakly_ordered
 
+let test_writedone_crossing_completes () =
+  (* Regression: an exclusive grant's WriteDone can still be in flight
+     when the line is recalled away, re-requested, and granted again.
+     The cache used to misread the old WriteDone as the new grant's
+     early WriteDone and strand the first grant's waiters forever; these
+     seeds deadlocked net-cache that way. *)
+  List.iter
+    (fun seed ->
+      let program = Wo_litmus.Random_prog.lock_disciplined ~seed () in
+      List.iter
+        (fun (m : M.t) -> ignore (M.run m ~seed program))
+        Wo_machines.Presets.all)
+    [ 82; 98; 109 ]
+
 (* --- results plumbing --------------------------------------------------------- *)
 
 let test_result_structure () =
@@ -488,6 +502,8 @@ let tests =
     Alcotest.test_case "workload invariants" `Slow test_workload_invariants;
     Alcotest.test_case "random lock programs" `Slow
       test_random_lock_programs_run_everywhere;
+    Alcotest.test_case "crossing WriteDone completes" `Quick
+      test_writedone_crossing_completes;
     Alcotest.test_case "result structure" `Quick test_result_structure;
     Alcotest.test_case "determinism" `Quick test_determinism;
     Alcotest.test_case "registry" `Quick test_registry;

@@ -10,6 +10,7 @@ let () =
       ("execution", Test_execution.tests);
       ("happens-before", Test_happens_before.tests);
       ("drf0", Test_drf0.tests);
+      ("drf0-inc", Test_drf0_inc.tests);
       ("sc", Test_sc.tests);
       ("lemma1", Test_lemma1.tests);
       ("prog", Test_prog.tests);

@@ -117,6 +117,85 @@ let test_engine_pending () =
   ignore (Engine.run e);
   check_int "drained" 0 (Engine.pending e)
 
+(* The heap engine against the retained map-of-lists oracle
+   (Engine.Reference): arbitrary schedule/schedule_at sequences —
+   including same-tick bursts and scheduling from inside handlers — must
+   execute in the identical order with identical clock readings. *)
+
+let run_random_schedule (module E : Wo_sim.Engine.S) ~seed ~ops =
+  let rng = Rng.make seed in
+  let e = E.create () in
+  let log = ref [] in
+  let next = ref 0 in
+  let rec spawn_from_handler () =
+    match Rng.int rng 3 with
+    | 0 -> ()
+    | n ->
+      for _ = 1 to n do
+        if !next < ops then begin
+          let id = !next in
+          incr next;
+          (* delay 0 exercises the same-tick "after the current batch"
+             rule; the rest spreads events over a few ticks *)
+          E.schedule e ~delay:(Rng.int rng 4) (handler id)
+        end
+      done
+  and handler id () =
+    log := (id, E.now e) :: !log;
+    spawn_from_handler ()
+  in
+  for _ = 1 to 8 do
+    if !next < ops then begin
+      let id = !next in
+      incr next;
+      if Rng.int rng 2 = 0 then E.schedule e ~delay:(Rng.int rng 6) (handler id)
+      else E.schedule_at e ~time:(E.now e + Rng.int rng 6) (handler id)
+    end
+  done;
+  let stop = E.run e in
+  (List.rev !log, stop, E.now e, E.pending e)
+
+let prop_engine_matches_reference =
+  QCheck.Test.make
+    ~name:"heap engine executes random schedules identically to Reference"
+    ~count:300 QCheck.small_int (fun seed ->
+      run_random_schedule (module Engine) ~seed ~ops:200
+      = run_random_schedule (module Engine.Reference) ~seed ~ops:200)
+
+let test_engine_reference_time_limit () =
+  (* max_time stops both engines at the same boundary (max_events is
+     documented to differ within a tick, so only max_time is compared). *)
+  let run (module E : Wo_sim.Engine.S) =
+    let e = E.create () in
+    let log = ref [] in
+    let rec tick i () =
+      log := i :: !log;
+      E.schedule e ~delay:7 (tick (i + 1))
+    in
+    E.schedule e ~delay:0 (tick 0);
+    let stop = E.run ~max_time:50 e in
+    (List.rev !log, stop, E.now e)
+  in
+  check "same under max_time" true
+    (run (module Engine) = run (module Engine.Reference))
+
+let test_machine_trace_deterministic () =
+  (* Per-seed byte identity of a full machine run on the heap engine:
+     what `wo trace` prints must not depend on anything but the seed. *)
+  let machine = Wo_machines.Presets.wo_new in
+  let program =
+    Wo_litmus.Litmus.dekker_sync.Wo_litmus.Litmus.program
+  in
+  List.iter
+    (fun seed ->
+      let digest () =
+        let r = Wo_machines.Machine.run machine ~seed program in
+        Digest.string
+          (Format.asprintf "%a" Trace.pp r.Wo_machines.Machine.trace)
+      in
+      check (Printf.sprintf "seed %d" seed) true (digest () = digest ()))
+    [ 1; 2; 3 ]
+
 (* --- stats ------------------------------------------------------------------ *)
 
 let test_stats () =
@@ -202,6 +281,11 @@ let tests =
     Alcotest.test_case "engine limits" `Quick test_engine_limits;
     Alcotest.test_case "engine rejects the past" `Quick test_engine_past_raises;
     Alcotest.test_case "engine pending" `Quick test_engine_pending;
+    QCheck_alcotest.to_alcotest prop_engine_matches_reference;
+    Alcotest.test_case "engine matches Reference under max_time" `Quick
+      test_engine_reference_time_limit;
+    Alcotest.test_case "machine trace deterministic per seed" `Quick
+      test_machine_trace_deterministic;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "trace commit order" `Quick test_trace_commit_order;
     Alcotest.test_case "trace issue order" `Quick test_trace_issue_order;
