@@ -1,0 +1,381 @@
+(* Experiment E12 — stateful exploration.
+
+   The stateful enumerator replaces the search tree with a DAG: a visited
+   table keyed on canonical state encodings merges convergent schedules,
+   processor-symmetry reduction collapses mirrored programs onto one orbit
+   representative, and a work-stealing scheduler replaces the static root
+   split.  This experiment measures what that buys over the PR-3 tree
+   engines and — first — asserts that it buys nothing semantically:
+
+   - identity: outcome sets, DRF0 verdicts and racy reports equal the tree
+     oracles on the litmus catalogue and the synthetic families, at one and
+     several domains (the -j determinism flags);
+   - dedup: states visited, visited-table hit rate, and the state reduction
+     vs. the tree on convergent/mirrored families;
+   - wall clock: stateful vs. the tree engines at full bounds, sequential
+     and work-stealing parallel.
+
+   Results go to stdout and BENCH_statespace.json; CI gates on the identity
+   flags and positive dedup rates (quick mode), plus the >=2x state
+   reduction and >=1.5x speedup targets at full bounds. *)
+
+module I = Wo_prog.Instr
+module P = Wo_prog.Program
+module En = Wo_prog.Enumerate
+module L = Wo_litmus.Litmus
+module J = Wo_obs.Json
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(* Every processor writes the same value sequence to one location:
+   all interleavings with equal per-processor progress reach the same
+   state, so the tree is the multinomial coefficient while the DAG is the
+   product of the progress counters.  Fully dependent accesses, so none of
+   the collapse can come from sleep sets. *)
+let convergent ~procs ~ops =
+  P.make
+    ~name:(Printf.sprintf "convergent-%dx%d" procs ops)
+    (List.init procs (fun _ -> List.init ops (fun _ -> I.Write (0, I.Const 1))))
+
+(* The mirrored synchronization family: identical sync-writing threads —
+   race-free (so the DRF0 search must visit everything), fully dependent
+   (sleep sets prune nothing), and symmetric (every thread permutation is
+   an automorphism the canonical key quotients away). *)
+let mirrored_sync ~procs ~ops =
+  P.make
+    ~name:(Printf.sprintf "mirrored-sync-%dx%d" procs ops)
+    (List.init procs (fun _ ->
+         List.init ops (fun _ -> I.Sync_write (0, I.Const 1))))
+
+let outcome_sets_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> Wo_prog.Outcome.equal x y) a b
+
+let reports_agree a b =
+  match (a, b) with
+  | Ok (), Ok () -> true
+  | Error ra, Error rb ->
+    ra.Wo_core.Drf0.races = rb.Wo_core.Drf0.races
+    && Wo_core.Execution.events ra.Wo_core.Drf0.execution
+       = Wo_core.Execution.events rb.Wo_core.Drf0.execution
+  | _ -> false
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let speedup slow fast = if fast <= 0.0 then 0.0 else slow /. fast
+
+let hit_rate (s : En.stateful_stats) =
+  let visits = s.En.sf_states + s.En.sf_hits in
+  if visits = 0 then 0.0 else float_of_int s.En.sf_hits /. float_of_int visits
+
+(* --- identity flags -------------------------------------------------------- *)
+
+type identity_row = {
+  id_program : string;
+  outcomes_equal : bool;  (** stateful outcome set = tree outcome set *)
+  verdict_equal : bool;  (** stateful DRF0 verdict = closure oracle *)
+  report_equal : bool;  (** racy reports equal check_drf0's, at 1 and N domains *)
+  jobs_deterministic : bool;  (** same answers at every domain count *)
+}
+
+let identity_check domains_list program =
+  let tree_outs = En.outcomes program in
+  let oracle = En.check_drf0_closure program in
+  let inc = En.check_drf0 program in
+  let per_domain =
+    List.map
+      (fun domains ->
+        let outs, _ = En.outcomes_stateful ~domains program in
+        let verdict, _ = En.check_drf0_stateful ~domains program in
+        let verdict_nosym, _ =
+          En.check_drf0_stateful ~symmetry:false ~domains program
+        in
+        ( outcome_sets_equal tree_outs outs,
+          (verdict = Ok ()) = (oracle = Ok ())
+          && (verdict_nosym = Ok ()) = (oracle = Ok ()),
+          reports_agree inc verdict ))
+      domains_list
+  in
+  {
+    id_program = program.P.name;
+    outcomes_equal = List.for_all (fun (o, _, _) -> o) per_domain;
+    verdict_equal = List.for_all (fun (_, v, _) -> v) per_domain;
+    report_equal = List.for_all (fun (_, _, r) -> r) per_domain;
+    jobs_deterministic =
+      (match per_domain with
+      | [] -> true
+      | _ ->
+        (* every domain count produced the same three comparisons against
+           the same fixed references, so sameness across rows is implied
+           by all rows being true; record it explicitly anyway *)
+        List.for_all (fun (o, v, r) -> o && v && r) per_domain);
+  }
+
+(* --- family measurements ---------------------------------------------------- *)
+
+type family_row = {
+  fam_name : string;
+  fam_program : string;
+  tree_states : int;
+  dag_states : int;
+  dag_distinct : int;
+  dag_hits : int;
+  dag_hit_rate : float;
+  tree_seconds : float;
+  dag_seconds : float;
+  dag_par_seconds : float;
+  dag_par_steals : int;
+  fam_domains : int;
+  fam_identical : bool;
+}
+
+(* Outcome collection: tree (PR-1/PR-3 engine) vs. stateful DAG. *)
+let measure_outcomes ~domains program =
+  let (tree_outs, tree_stats), tree_seconds =
+    time (fun () -> En.outcomes_with_stats program)
+  in
+  let (dag_outs, dag_stats), dag_seconds =
+    time (fun () -> En.outcomes_stateful ~domains:1 program)
+  in
+  let (par_outs, par_stats), dag_par_seconds =
+    time (fun () -> En.outcomes_stateful ~domains program)
+  in
+  {
+    fam_name = "convergent-outcomes";
+    fam_program = program.P.name;
+    tree_states = tree_stats.En.states;
+    dag_states = dag_stats.En.sf_states;
+    dag_distinct = dag_stats.En.sf_distinct;
+    dag_hits = dag_stats.En.sf_hits;
+    dag_hit_rate = hit_rate dag_stats;
+    tree_seconds;
+    dag_seconds;
+    dag_par_seconds;
+    dag_par_steals = par_stats.En.sf_steals;
+    fam_domains = domains;
+    fam_identical =
+      outcome_sets_equal tree_outs dag_outs
+      && outcome_sets_equal tree_outs par_outs;
+  }
+
+(* DRF0 quantifier: path-incremental tree (the PR-3 engine) vs. stateful
+   DAG with symmetry reduction. *)
+let measure_drf0 ~domains program =
+  let (tree_result, tree_stats), tree_seconds =
+    time (fun () -> En.check_drf0_with_stats program)
+  in
+  let (dag_result, dag_stats), dag_seconds =
+    time (fun () -> En.check_drf0_stateful ~domains:1 program)
+  in
+  let (par_result, par_stats), dag_par_seconds =
+    time (fun () -> En.check_drf0_stateful ~domains program)
+  in
+  {
+    fam_name = "mirrored-sync-drf0";
+    fam_program = program.P.name;
+    tree_states = tree_stats.En.states;
+    dag_states = dag_stats.En.sf_states;
+    dag_distinct = dag_stats.En.sf_distinct;
+    dag_hits = dag_stats.En.sf_hits;
+    dag_hit_rate = hit_rate dag_stats;
+    tree_seconds;
+    dag_seconds;
+    dag_par_seconds;
+    dag_par_steals = par_stats.En.sf_steals;
+    fam_domains = domains;
+    fam_identical =
+      (tree_result = Ok ()) = (dag_result = Ok ())
+      && (tree_result = Ok ()) = (par_result = Ok ());
+  }
+
+(* --- observability ---------------------------------------------------------- *)
+
+(* One stateful run under a live recorder: the enumerator's Enum-category
+   counters (visited hits, steals, per-domain expansions) land in the trace
+   exactly like the machines' stall counters do. *)
+let obs_counters ~domains program =
+  let recorder = Wo_obs.Recorder.create () in
+  ignore
+    (Wo_obs.Recorder.with_sink recorder (fun () ->
+         En.check_drf0_stateful ~domains program));
+  List.filter_map
+    (function
+      | Wo_obs.Recorder.Counter { name; value; track; _ } ->
+        Some
+          (J.Obj
+             [
+               ("name", J.String name);
+               ("track", J.Int track);
+               ("value", J.Int value);
+             ])
+      | _ -> None)
+    (Wo_obs.Recorder.events recorder)
+
+(* --- the experiment --------------------------------------------------------- *)
+
+let run () =
+  Wo_report.Table.heading
+    "E12 / stateful exploration — canonical hashing, symmetry, work stealing";
+  let domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let identity_domains = [ 1; domains ] in
+  let identity_programs =
+    [
+      L.figure1.L.program;
+      L.message_passing.L.program;
+      L.dekker_sync.L.program;
+      L.atomicity.L.program;
+      L.coherence.L.program;
+      L.two_plus_two_w.L.program;
+      convergent ~procs:2 ~ops:4;
+      mirrored_sync ~procs:3 ~ops:2;
+    ]
+  in
+  let identity_rows = List.map (identity_check identity_domains) identity_programs in
+  Wo_report.Table.subheading
+    "identity: stateful vs. the tree oracles (outcomes, verdicts, reports)";
+  print_newline ();
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; L; L; L; L ]
+    ~headers:[ "program"; "outcomes"; "verdict"; "report"; "-j det" ]
+    (List.map
+       (fun r ->
+         [
+           r.id_program;
+           Exp_common.yes_no r.outcomes_equal;
+           Exp_common.yes_no r.verdict_equal;
+           Exp_common.yes_no r.report_equal;
+           Exp_common.yes_no r.jobs_deterministic;
+         ])
+       identity_rows);
+  let all_identity =
+    List.for_all
+      (fun r ->
+        r.outcomes_equal && r.verdict_equal && r.report_equal
+        && r.jobs_deterministic)
+      identity_rows
+  in
+  Printf.printf "\nall identity flags: %b\n\n" all_identity;
+  let outcome_programs =
+    if Exp_common.quick then [ convergent ~procs:2 ~ops:5 ]
+    else [ convergent ~procs:2 ~ops:9; convergent ~procs:3 ~ops:5 ]
+  in
+  let drf0_programs =
+    if Exp_common.quick then [ mirrored_sync ~procs:3 ~ops:2 ]
+    else [ mirrored_sync ~procs:3 ~ops:3; mirrored_sync ~procs:4 ~ops:2 ]
+  in
+  let family_rows =
+    List.map (measure_outcomes ~domains) outcome_programs
+    @ List.map (measure_drf0 ~domains) drf0_programs
+  in
+  Wo_report.Table.subheading
+    "dedup and wall clock: tree engines vs. the stateful DAG";
+  print_newline ();
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R; R; R; R; R; L ]
+    ~headers:
+      [
+        "program";
+        "tree states";
+        "DAG states";
+        "reduction";
+        "hit rate";
+        "tree s";
+        "DAG s";
+        "DAG -j s";
+        "identical";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.fam_program;
+           string_of_int r.tree_states;
+           string_of_int r.dag_states;
+           Printf.sprintf "%.1fx" (ratio r.tree_states r.dag_states);
+           Printf.sprintf "%.2f" r.dag_hit_rate;
+           Printf.sprintf "%.3f" r.tree_seconds;
+           Printf.sprintf "%.3f" r.dag_seconds;
+           Printf.sprintf "%.3f" r.dag_par_seconds;
+           Exp_common.yes_no r.fam_identical;
+         ])
+       family_rows);
+  let min_reduction =
+    List.fold_left
+      (fun acc r -> min acc (ratio r.tree_states r.dag_states))
+      infinity family_rows
+  in
+  let best_speedup =
+    List.fold_left
+      (fun acc r ->
+        max acc
+          (max
+             (speedup r.tree_seconds r.dag_seconds)
+             (speedup r.tree_seconds r.dag_par_seconds)))
+      0.0 family_rows
+  in
+  let all_dedup = List.for_all (fun r -> r.dag_hit_rate > 0.0) family_rows in
+  let all_families_identical =
+    List.for_all (fun r -> r.fam_identical) family_rows
+  in
+  Printf.printf
+    "\nmirrored/convergent families: >=%.1fx state reduction (target 2x), \
+     best wall-clock speedup %.1fx (target 1.5x at full bounds), dedup \
+     everywhere: %b\n\n"
+    min_reduction best_speedup all_dedup;
+  let counters = obs_counters ~domains (mirrored_sync ~procs:3 ~ops:2) in
+  Printf.printf "wo_obs Enum counters emitted by one stateful run: %d\n\n"
+    (List.length counters);
+  let identity_json r =
+    J.Obj
+      [
+        ("program", J.String r.id_program);
+        ("outcomes_equal", J.Bool r.outcomes_equal);
+        ("verdict_equal", J.Bool r.verdict_equal);
+        ("report_equal", J.Bool r.report_equal);
+        ("jobs_deterministic", J.Bool r.jobs_deterministic);
+      ]
+  in
+  let family_json r =
+    J.Obj
+      [
+        ("family", J.String r.fam_name);
+        ("program", J.String r.fam_program);
+        ("tree_states", J.Int r.tree_states);
+        ("dag_states", J.Int r.dag_states);
+        ("dag_distinct", J.Int r.dag_distinct);
+        ("dedup_hits", J.Int r.dag_hits);
+        ("dedup_hit_rate", J.Float r.dag_hit_rate);
+        ("state_reduction", J.Float (ratio r.tree_states r.dag_states));
+        ("tree_seconds", J.Float r.tree_seconds);
+        ("dag_seconds", J.Float r.dag_seconds);
+        ("dag_par_seconds", J.Float r.dag_par_seconds);
+        ("dag_par_steals", J.Int r.dag_par_steals);
+        ("speedup_seq", J.Float (speedup r.tree_seconds r.dag_seconds));
+        ("speedup_par", J.Float (speedup r.tree_seconds r.dag_par_seconds));
+        ("domains", J.Int r.fam_domains);
+        ("identical", J.Bool r.fam_identical);
+      ]
+  in
+  Exp_common.write_metrics ~experiment:"e12" ~path:"BENCH_statespace.json"
+    [
+      ("quick", J.Bool Exp_common.quick);
+      ("domains", J.Int domains);
+      ("recommended_domains", J.Int (Domain.recommended_domain_count ()));
+      ("identity", J.List (List.map identity_json identity_rows));
+      ("all_identity", J.Bool all_identity);
+      ("families", J.List (List.map family_json family_rows));
+      ("all_families_identical", J.Bool all_families_identical);
+      ("all_dedup_positive", J.Bool all_dedup);
+      ("min_state_reduction", J.Float min_reduction);
+      ("best_speedup", J.Float best_speedup);
+      ("obs_counters", J.List counters);
+    ];
+  print_endline
+    "Expected: identity flags all true at every domain count (the stateful\n\
+     DAG is an optimization, not a semantics change); >=2x state reduction\n\
+     and positive dedup rates on the convergent/mirrored families, with\n\
+     >=1.5x wall-clock speedup over the PR-3 tree engines at full bounds."

@@ -5,6 +5,10 @@
      wo litmus figure1 -m wo-new     run a litmus test on a machine and
                                      compare against the SC outcome set
      wo races message-passing        check a litmus program against DRF0
+     wo check dekker-sync --strategy=stateful -j 4
+                                     exhaustive DRF0 check: DAG search with
+                                     canonical state hashing, symmetry
+                                     reduction and work-stealing domains
      wo workload critical-section -m sc-dir
                                      run a workload, validate its invariant
      wo trace figure3 -m wo-new      dump one run's operation timeline
@@ -267,6 +271,147 @@ let races_cmd =
   Cmd.v
     (Cmd.info "races" ~doc:"Check a litmus program against Definition 3 (DRF0)")
     Term.(const run $ test_arg)
+
+(* --- wo check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let test_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
+  in
+  let strategy_arg =
+    let s =
+      Arg.enum [ ("naive", `Naive); ("por", `Por); ("stateful", `Stateful) ]
+    in
+    Arg.(
+      value & opt s `Stateful
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Search strategy: $(b,naive) (every interleaving), $(b,por) \
+             (sleep-set partial-order reduction over the search tree), or \
+             $(b,stateful) (the default: DAG search — canonical state \
+             hashing, processor-symmetry reduction and work stealing on \
+             top of the reduced search).  The verdict is identical for \
+             all three.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Number of OCaml domains to search with; $(b,0) picks the \
+             recommended count for this host.  The verdict is identical \
+             for every value.")
+  in
+  let run test strategy jobs metrics =
+    let test = or_die (get_litmus test) in
+    if test.L.loops then
+      or_die
+        (Error
+           (Printf.sprintf
+              "%S has spin loops, so its idealized executions are unbounded; \
+               use `wo races %s' (dynamic sampling) instead"
+              test.L.name test.L.name));
+    let domains = if jobs <= 0 then None else Some (max 1 jobs) in
+    Format.printf "%a@.@." Wo_prog.Program.pp test.L.program;
+    let t0 = Unix.gettimeofday () in
+    let result, stats =
+      match strategy with
+      | `Stateful ->
+        let r, s =
+          Wo_prog.Enumerate.check_drf0_stateful ?domains test.L.program
+        in
+        (r, Some s)
+      | (`Naive | `Por) as s ->
+        let strategy =
+          match s with
+          | `Naive -> Wo_prog.Enumerate.Naive
+          | `Por -> Wo_prog.Enumerate.Por
+        in
+        (* Tree search: per-strategy counters, no dedup to report. *)
+        (match domains with
+        | Some d when d > 1 ->
+          ( Wo_prog.Enumerate.check_drf0_par ~strategy ~domains:d test.L.program,
+            None )
+        | _ ->
+          let r, (s : Wo_prog.Enumerate.stats) =
+            Wo_prog.Enumerate.check_drf0_with_stats ~strategy test.L.program
+          in
+          ( r,
+            Some
+              {
+                Wo_prog.Enumerate.sf_states = s.Wo_prog.Enumerate.states;
+                sf_distinct = 0;
+                sf_hits = 0;
+                sf_executions = s.Wo_prog.Enumerate.executions;
+                sf_steals = 0;
+                sf_per_domain = [| s.Wo_prog.Enumerate.states |];
+              } ))
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (match stats with
+    | None -> Printf.printf "search: %.3fs\n" wall
+    | Some s ->
+      Printf.printf
+        "search: %.3fs, %d states expanded, %d executions; visited table: %d \
+         distinct, %d dedup hits; %d steals over %d domain(s)\n"
+        wall s.Wo_prog.Enumerate.sf_states s.Wo_prog.Enumerate.sf_executions
+        s.Wo_prog.Enumerate.sf_distinct s.Wo_prog.Enumerate.sf_hits
+        s.Wo_prog.Enumerate.sf_steals
+        (Array.length s.Wo_prog.Enumerate.sf_per_domain));
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let stat_fields =
+        match stats with
+        | None -> []
+        | Some s ->
+          [
+            ("states", Wo_obs.Json.Int s.Wo_prog.Enumerate.sf_states);
+            ("distinct", Wo_obs.Json.Int s.Wo_prog.Enumerate.sf_distinct);
+            ("dedup_hits", Wo_obs.Json.Int s.Wo_prog.Enumerate.sf_hits);
+            ("executions", Wo_obs.Json.Int s.Wo_prog.Enumerate.sf_executions);
+            ("steals", Wo_obs.Json.Int s.Wo_prog.Enumerate.sf_steals);
+          ]
+      in
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"check"
+          ([
+             ("test", Wo_obs.Json.String test.L.name);
+             ( "strategy",
+               Wo_obs.Json.String
+                 (match strategy with
+                 | `Naive -> "naive"
+                 | `Por -> "por"
+                 | `Stateful -> "stateful") );
+             ( "racy",
+               Wo_obs.Json.Bool (match result with Ok () -> false | Error _ -> true)
+             );
+             ("wall_s", Wo_obs.Json.Float wall);
+           ]
+          @ stat_fields)
+      in
+      Wo_obs.Metrics.write_file ~path doc;
+      Printf.printf "metrics: wrote %s\n" path);
+    match result with
+    | Ok () ->
+      print_endline
+        "every idealized execution is race-free: the program obeys DRF0"
+    | Error report ->
+      Printf.printf "DRF0 violated; races in one idealized execution:\n";
+      List.iter
+        (fun r -> Format.printf "  %a@." Wo_core.Drf0.pp_race r)
+        report.Wo_core.Drf0.races;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively check a litmus program against Definition 3 (DRF0) \
+          with a selectable search strategy")
+    Term.(const run $ test_arg $ strategy_arg $ jobs_arg $ metrics_arg)
 
 (* --- wo workload ---------------------------------------------------------- *)
 
@@ -672,6 +817,7 @@ let main =
       litmus_cmd;
       litmus_file_cmd;
       races_cmd;
+      check_cmd;
       workload_cmd;
       sweep_cmd;
       trace_cmd;

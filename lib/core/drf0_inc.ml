@@ -194,6 +194,45 @@ let reset t =
     pop t
   done
 
+(* --- state summaries for memoized (stateful) exploration ------------------ *)
+
+type loc_summary = {
+  ls_loc : Event.loc;
+  ls_last_write : int array; (* per proc: epoch of last write, or -1 *)
+  ls_last_read : int array;
+  ls_sync : int array; (* components of the location's sync clock *)
+}
+
+type summary = {
+  sm_clocks : int array array; (* [p].(q): processor p's clock, component q *)
+  sm_locs : loc_summary list; (* sorted by location *)
+}
+
+let summary t =
+  let epochs src =
+    Array.map (function Some (epoch, _) -> epoch | None -> -1) src
+  in
+  let locs =
+    Hashtbl.fold
+      (fun loc (lr : locrec) acc ->
+        {
+          ls_loc = loc;
+          ls_last_write = epochs lr.last_write;
+          ls_last_read = epochs lr.last_read;
+          ls_sync =
+            Array.init t.nprocs (fun q -> Vector_clock.get lr.sync_clock q);
+        }
+        :: acc)
+      t.locs []
+    |> List.sort (fun a b -> Int.compare a.ls_loc b.ls_loc)
+  in
+  {
+    sm_clocks =
+      Array.init t.nprocs (fun p ->
+          Array.init t.nprocs (fun q -> Vector_clock.get t.clocks.(p) q));
+    sm_locs = locs;
+  }
+
 let first_race ?mode ~nprocs events =
   let t = create ?mode ~nprocs () in
   List.find_map (fun e -> push t e) events

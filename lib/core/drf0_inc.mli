@@ -55,6 +55,36 @@ val depth : t -> int
 val reset : t -> unit
 (** Pop everything. *)
 
+(** {2 State summaries}
+
+    The stateful (DAG) enumerator memoizes "every completion of this
+    prefix is race-free".  Whether a {e future} event races depends on
+    the past only through what this summary captures: per-processor
+    clocks, the epoch of the last read/write per (location, processor),
+    and the per-location synchronization clock.  All future operations
+    compare these values {e component-wise} (joins are pointwise [max],
+    race tests compare an epoch against one clock component), so any
+    order-preserving per-component renumbering of a summary leaves the
+    set of reachable races unchanged — the property the canonical state
+    key's rank compression relies on (see [Wo_prog.State_key]). *)
+
+type loc_summary = {
+  ls_loc : Event.loc;
+  ls_last_write : int array;
+      (** per processor: epoch of its last write to the location, -1 if none *)
+  ls_last_read : int array;
+  ls_sync : int array;  (** the location's synchronization clock, by component *)
+}
+
+type summary = {
+  sm_clocks : int array array;
+      (** [sm_clocks.(p).(q)]: processor [p]'s clock, component [q] *)
+  sm_locs : loc_summary list;  (** locations touched so far, sorted *)
+}
+
+val summary : t -> summary
+(** A snapshot of the checker's happens-before state (arrays are fresh). *)
+
 val first_race :
   ?mode:mode -> nprocs:int -> Event.t list -> Drf0.race option
 (** Fold {!push} over a complete event list with a fresh checker. *)

@@ -27,9 +27,13 @@ let dependent (a : Interp.access) (b : Interp.access) =
 
 (* Children of a drained, non-final node, with the event taken on the edge
    (consumed by the incremental DRF0 checker) and the sleep set each child
-   inherits.  [sleep] lists processors whose pending step is already covered
-   by a sibling subtree elsewhere in the search; exploring them here would
-   only revisit Mazurkiewicz-equivalent interleavings.
+   inherits.  A sleep set is an int bitset (bit [p] = processor [p] asleep):
+   membership, filtering and intersection are single machine-word operations
+   instead of the linear [List.mem]/[List.assoc] scans run once per child,
+   and bitsets compare and intersect in O(1) inside the stateful visited
+   table.  Sleeping processors' pending steps are already covered by a
+   sibling subtree elsewhere in the search; exploring them here would only
+   revisit Mazurkiewicz-equivalent interleavings.
 
    Sleep-set discipline (Godefroid): iterate awake processors in ascending
    order; the child for processor [p] sleeps on every processor of
@@ -48,7 +52,7 @@ let children_of ~strategy state sleep =
         List.map
           (fun p ->
             let state', ev = Interp.step state p in
-            (state', ev, []))
+            (state', ev, 0))
           procs
       | Por ->
         (* After [drain_silent] every runnable processor has a pending
@@ -56,19 +60,28 @@ let children_of ~strategy state sleep =
         let pending =
           List.map (fun p -> (p, Option.get (Interp.peek state p))) procs
         in
-        let sleep = List.filter (fun q -> List.mem_assoc q pending) sleep in
+        let runnable_mask =
+          List.fold_left (fun m (p, _) -> m lor (1 lsl p)) 0 pending
+        in
+        let sleep = sleep land runnable_mask in
         let rec expand sleep_now acc = function
           | [] -> List.rev acc
           | (p, ap) :: rest ->
-            if List.mem p sleep then expand sleep_now acc rest
+            if sleep land (1 lsl p) <> 0 then expand sleep_now acc rest
             else
               let child_sleep =
-                List.filter
-                  (fun q -> not (dependent ap (List.assoc q pending)))
-                  sleep_now
+                List.fold_left
+                  (fun m (q, aq) ->
+                    if sleep_now land (1 lsl q) <> 0 && not (dependent ap aq)
+                    then m lor (1 lsl q)
+                    else m)
+                  0 pending
               in
               let state', ev = Interp.step state p in
-              expand (p :: sleep_now) ((state', ev, child_sleep) :: acc) rest
+              expand
+                (sleep_now lor (1 lsl p))
+                ((state', ev, child_sleep) :: acc)
+                rest
         in
         expand sleep [] pending)
 
@@ -94,13 +107,22 @@ let execution_seq ~strategy ~max_events ~max_executions (root, root_sleep) =
   in
   leaves root root_sleep
 
+(* Sleep sets (and the visited table's claim entries) are machine-word
+   bitsets; more processors than bits is far beyond anything enumerable
+   anyway, but fail loudly rather than alias bits. *)
+let bitset_guard program =
+  if Program.num_procs program > Sys.int_size - 2 then
+    invalid_arg "Enumerate: more processors than sleep-set bitset bits"
+
 let executions ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  bitset_guard program;
   execution_seq ~strategy:Naive ~max_events ~max_executions
-    (Interp.init program, [])
+    (Interp.init program, 0)
 
 let executions_por ?(max_events = 64) ?(max_executions = 1_000_000) program =
+  bitset_guard program;
   execution_seq ~strategy:Por ~max_events ~max_executions
-    (Interp.init program, [])
+    (Interp.init program, 0)
 
 module Outcome_set = Set.Make (Outcome)
 
@@ -139,8 +161,9 @@ let collect_from ~strategy ~max_events ~max_executions ~raise_on_limit roots =
 
 let collect_outcomes ~strategy ~max_events ~max_executions ~raise_on_limit
     program =
+  bitset_guard program;
   collect_from ~strategy ~max_events ~max_executions ~raise_on_limit
-    [ (Interp.init program, []) ]
+    [ (Interp.init program, 0) ]
 
 let outcomes ?(strategy = Por) ?(max_events = 64)
     ?(max_executions = 1_000_000) program =
@@ -189,7 +212,7 @@ let expand_frontier ~strategy ~max_events ~target ~on_leaf program =
       if !expanded then rounds next else next
     end
   in
-  let tasks = rounds [ (Interp.init program, []) ] in
+  let tasks = rounds [ (Interp.init program, 0) ] in
   (tasks, !states, !truncated)
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
@@ -210,6 +233,7 @@ let map_domains worker buckets =
 
 let outcomes_par ?(strategy = Por) ?(max_events = 64)
     ?(max_executions = 1_000_000) ?domains program =
+  bitset_guard program;
   let num_domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -366,11 +390,12 @@ let check_root ~nprocs ~strategy ?model ~max_events ~max_executions counter
 
 let check_drf0_with_stats ?(strategy = Por) ?model ?(max_events = 64)
     ?(max_executions = 1_000_000) program =
+  bitset_guard program;
   let counter = { c_states = 0; c_executions = 0 } in
   let result =
     check_root ~nprocs:(Program.num_procs program) ~strategy ?model
       ~max_events ~max_executions counter
-      (Interp.init program, [])
+      (Interp.init program, 0)
   in
   (result, counter_stats counter)
 
@@ -379,10 +404,11 @@ let check_drf0 ?strategy ?model ?max_events ?max_executions program =
 
 let check_drf0_closure_with_stats ?(strategy = Por) ?model ?(max_events = 64)
     ?(max_executions = 1_000_000) program =
+  bitset_guard program;
   let counter = { c_states = 0; c_executions = 0 } in
   let result =
     check_root_closure ~strategy ?model ~max_events ~max_executions counter
-      (Interp.init program, [])
+      (Interp.init program, 0)
   in
   (result, counter_stats counter)
 
@@ -393,6 +419,7 @@ let check_drf0_closure ?strategy ?model ?max_events ?max_executions program =
 
 let check_drf0_par ?(strategy = Por) ?model ?(max_events = 64)
     ?(max_executions = 1_000_000) ?domains program =
+  bitset_guard program;
   let num_domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -443,3 +470,267 @@ let check_drf0_par ?(strategy = Por) ?model ?(max_events = 64)
         None results
     in
     (match first with Some (_, r) -> Error r | None -> Ok ())
+
+(* --- stateful (DAG) exploration -------------------------------------------- *)
+
+(* The tree enumerators above forget where they have been: a state reached
+   by two commutation-inequivalent paths is expanded twice, once per path.
+   The stateful enumerators key a visited table ({!Visited}) on canonical
+   encodings ({!State_key}) of the interpreter state, turning the search
+   tree into a DAG — convergent schedules (and, for the DRF0 quantifier,
+   whole symmetry orbits) are expanded once.  Soundness of caching under
+   sleep sets follows Godefroid's discipline: a revisit is pruned only when
+   the cached claim's sleep set is a subset of ours (the cached exploration
+   ran with at most as much pruning); otherwise the entry is widened to the
+   intersection and re-explored. *)
+
+type stateful_stats = {
+  sf_states : int;
+  sf_distinct : int;
+  sf_hits : int;
+  sf_executions : int;
+  sf_steals : int;
+  sf_per_domain : int array;
+}
+
+let emit_stateful_obs ~name (s : stateful_stats) =
+  let r = Wo_obs.Recorder.active () in
+  if Wo_obs.Recorder.enabled r then begin
+    let c track n v =
+      Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Enum ~track ~name:n ~ts:0
+        ~value:v
+    in
+    c 0 (name ^ ".states") s.sf_states;
+    c 0 (name ^ ".visited_distinct") s.sf_distinct;
+    c 0 (name ^ ".visited_hits") s.sf_hits;
+    c 0 (name ^ ".steals") s.sf_steals;
+    Array.iteri (fun i v -> c i (name ^ ".domain_expanded") v) s.sf_per_domain
+  end
+
+let outcomes_stateful ?(strategy = Por) ?(max_events = 64)
+    ?(max_executions = 1_000_000) ?domains program =
+  bitset_guard program;
+  let num_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let tbl = Visited.create () in
+  let leaves = Atomic.make 0 in
+  (* Per-worker slots are written only by their owner and read after the
+     scheduler joins every domain, so plain arrays are race-free. *)
+  let per_domain = Array.make num_domains 0 in
+  let outs = Array.make num_domains Outcome_set.empty in
+  let wstats =
+    Wsq.run ~domains:num_domains
+      ~roots:[ (Interp.init program, 0) ]
+      (fun ~worker ~push ~hungry ~halt:_ (state0, sleep0) ->
+        let rec go state sleep =
+          let state = drain_silent state in
+          if Interp.events_so_far state > max_events then raise Limit_exceeded;
+          (* Outcomes name concrete processors and locations, so the key is
+             the exact snapshot — no symmetry quotient.  A skipped state's
+             subtree (restricted by a sleep subset of ours) has already fed
+             every outcome it can reach into some worker's accumulator. *)
+          match
+            Visited.try_claim tbl (State_key.exact (Interp.view state)) sleep
+          with
+          | `Skip -> ()
+          | `Explore sleep -> (
+            per_domain.(worker) <- per_domain.(worker) + 1;
+            match children_of ~strategy state sleep with
+            | None ->
+              if Atomic.fetch_and_add leaves 1 >= max_executions then
+                raise Limit_exceeded;
+              outs.(worker) <- Outcome_set.add (Interp.outcome state) outs.(worker)
+            | Some kids -> (
+              let tasks = List.map (fun (s, _ev, sl) -> (s, sl)) kids in
+              match tasks with
+              | (s1, sl1) :: (_ :: _ as rest) when hungry () ->
+                (* expose siblings for stealing, recurse into the first *)
+                List.iter push rest;
+                go s1 sl1
+              | tasks -> List.iter (fun (s, sl) -> go s sl) tasks))
+        in
+        go state0 sleep0)
+  in
+  let outcomes =
+    Array.fold_left Outcome_set.union Outcome_set.empty outs
+  in
+  let stats =
+    {
+      sf_states = Array.fold_left ( + ) 0 per_domain;
+      sf_distinct = Visited.size tbl;
+      sf_hits = Visited.hits tbl;
+      sf_executions = Atomic.get leaves;
+      sf_steals = wstats.Wsq.steals;
+      sf_per_domain = per_domain;
+    }
+  in
+  emit_stateful_obs ~name:"stateful.outcomes" stats;
+  (Outcome_set.elements outcomes, stats)
+
+(* Internal signal: a race was found; carries the closure-checked report of
+   the completed racy execution. *)
+exception Racy_state of Wo_core.Drf0.report
+
+let stateful_racy ?model ~max_events state =
+  let completed = complete_for_report ~max_events state in
+  raise (Racy_state (Wo_core.Drf0.check ?model (Interp.execution completed)))
+
+(* One DAG walk from [root]; [inc] must agree with the path to [root].
+   [offload] may hand sibling subtrees to the scheduler (returning true)
+   instead of having them explored inline. *)
+let drf0_dag_walk ~strategy ~symmetry ?model ~max_events ~max_executions ~tbl
+    ~leaves ~on_node ~offload inc root root_sleep =
+  let rec go state sleep =
+    let state = drain_silent state in
+    if Interp.events_so_far state > max_events then raise Limit_exceeded;
+    (* The DRF0 verdict is isomorphism-invariant, so the key quotients by
+       processor symmetry and location renaming; the arrangement [order]
+       transports the sleep bitset into canonical coordinates and back. *)
+    let key, order =
+      State_key.canonical ~symmetry (Interp.view state)
+        (Wo_core.Drf0_inc.summary inc)
+    in
+    match Visited.try_claim tbl key (State_key.map_sleep ~order sleep) with
+    | `Skip -> ()
+    | `Explore canon_sleep -> (
+      on_node ();
+      let sleep = State_key.unmap_sleep ~order canon_sleep in
+      match children_of ~strategy state sleep with
+      | None ->
+        if Atomic.fetch_and_add leaves 1 >= max_executions then
+          raise Limit_exceeded
+      | Some kids -> (
+        let explore (state', ev, sleep') =
+          match ev with
+          | None -> go state' sleep'
+          | Some e -> (
+            match Wo_core.Drf0_inc.push inc e with
+            | Some _race -> stateful_racy ?model ~max_events state'
+            | None ->
+              go state' sleep';
+              Wo_core.Drf0_inc.pop inc)
+        in
+        match kids with
+        | first :: (_ :: _ as rest) when offload rest -> explore first
+        | kids -> List.iter explore kids))
+  in
+  go root root_sleep
+
+(* A task handed to the scheduler carries only the interpreter state; the
+   incremental checker is rebuilt by replaying the path's events (the same
+   move [check_root_inc] makes for frontier roots).  The replay cannot race
+   for tasks spawned by a walk — every edge was checked before its subtree
+   was offloaded — but a defensive check costs nothing. *)
+let replay_task ?model ~mode ~nprocs ~max_events state =
+  let inc = Wo_core.Drf0_inc.create ~mode ~nprocs () in
+  List.iter
+    (fun e ->
+      match Wo_core.Drf0_inc.push inc e with
+      | None -> ()
+      | Some _race -> stateful_racy ?model ~max_events state)
+    (Wo_core.Execution.events (Interp.execution state));
+  inc
+
+let check_drf0_stateful ?(strategy = Por) ?model ?(symmetry = true)
+    ?(max_events = 64) ?(max_executions = 1_000_000) ?domains program =
+  bitset_guard program;
+  let num_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  match incremental_mode model with
+  | None ->
+    (* Custom synchronization model: there is no vector-clock summary to
+       hash soundly, so fall back to the closure-based tree oracle. *)
+    let result, (s : stats) =
+      check_drf0_closure_with_stats ~strategy ?model ~max_events
+        ~max_executions program
+    in
+    ( result,
+      {
+        sf_states = s.states;
+        sf_distinct = 0;
+        sf_hits = 0;
+        sf_executions = s.executions;
+        sf_steals = 0;
+        sf_per_domain = [| s.states |];
+      } )
+  | Some mode ->
+    let nprocs = Program.num_procs program in
+    (* Sequential walk: one incremental checker rides the DFS (no replay),
+       children explored in tree order, so the first racy prefix found —
+       and hence the report — coincides with [check_drf0]'s. *)
+    let run_seq () =
+      let tbl = Visited.create () in
+      let leaves = Atomic.make 0 in
+      let states = ref 0 in
+      let inc = Wo_core.Drf0_inc.create ~mode ~nprocs () in
+      let result =
+        try
+          drf0_dag_walk ~strategy ~symmetry ?model ~max_events ~max_executions
+            ~tbl ~leaves
+            ~on_node:(fun () -> incr states)
+            ~offload:(fun _ -> false)
+            inc (Interp.init program) 0;
+          Ok ()
+        with Racy_state r -> Error r
+      in
+      ( result,
+        {
+          sf_states = !states;
+          sf_distinct = Visited.size tbl;
+          sf_hits = Visited.hits tbl;
+          sf_executions = Atomic.get leaves;
+          sf_steals = 0;
+          sf_per_domain = [| !states |];
+        } )
+    in
+    let result, stats =
+      if num_domains = 1 then run_seq ()
+      else begin
+        let tbl = Visited.create () in
+        let leaves = Atomic.make 0 in
+        let per_domain = Array.make num_domains 0 in
+        let par =
+          try
+            Ok
+              (Wsq.run ~domains:num_domains
+                 ~roots:[ (Interp.init program, 0) ]
+                 (fun ~worker ~push ~hungry ~halt:_ (state0, sleep0) ->
+                   let inc =
+                     replay_task ?model ~mode ~nprocs ~max_events state0
+                   in
+                   drf0_dag_walk ~strategy ~symmetry ?model ~max_events
+                     ~max_executions ~tbl ~leaves
+                     ~on_node:(fun () ->
+                       per_domain.(worker) <- per_domain.(worker) + 1)
+                     ~offload:(fun rest ->
+                       hungry ()
+                       &&
+                       (List.iter (fun (s, _ev, sl) -> push (s, sl)) rest;
+                        true))
+                     inc state0 sleep0))
+          with Racy_state _ -> Error ()
+        in
+        match par with
+        | Ok wstats ->
+          ( Ok (),
+            {
+              sf_states = Array.fold_left ( + ) 0 per_domain;
+              sf_distinct = Visited.size tbl;
+              sf_hits = Visited.hits tbl;
+              sf_executions = Atomic.get leaves;
+              sf_steals = wstats.Wsq.steals;
+              sf_per_domain = per_domain;
+            } )
+        | Error () ->
+          (* A race exists.  Which worker saw one first is timing-dependent,
+             so re-search sequentially on a fresh table: the verdict is
+             already known, the rerun only makes the reported execution
+             deterministic across domain counts.  (The parallel table is
+             unusable after a halt — its claims no longer imply coverage.) *)
+          run_seq ()
+      end
+    in
+    emit_stateful_obs ~name:"stateful.drf0" stats;
+    (result, stats)

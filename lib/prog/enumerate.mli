@@ -23,6 +23,12 @@
     - {b Parallel} ({!outcomes_par}, {!check_drf0_par}): the root region of
       the (naive or reduced) search tree is split across OCaml 5 [Domain]s;
       per-domain results are merged at the end.
+    - {b Stateful} ({!outcomes_stateful}, {!check_drf0_stateful}): the
+      search {e tree} becomes a DAG — a visited table keyed on canonical
+      state encodings ({!State_key}) merges convergent schedules, the DRF0
+      quantifier additionally quotients by processor/location symmetry, and
+      parallel runs use a work-stealing scheduler ({!Wsq}) instead of a
+      static root split.
 
     Programs with loops can have unboundedly many executions — bound them
     with [max_events] and check [truncated]. *)
@@ -139,3 +145,49 @@ val check_drf0_par :
     [domains] the reported racy execution is deterministic (smallest
     frontier-task index wins).  @raise Limit_exceeded as for
     {!executions}. *)
+
+(** {2 Stateful (DAG) exploration} *)
+
+type stateful_stats = {
+  sf_states : int;  (** DAG nodes expanded (tree re-expansions merged away) *)
+  sf_distinct : int;  (** distinct states in the visited table *)
+  sf_hits : int;  (** visited-table hits — subtrees pruned by dedup *)
+  sf_executions : int;  (** complete executions reached *)
+  sf_steals : int;  (** successful work-steals (parallel runs) *)
+  sf_per_domain : int array;  (** DAG nodes expanded per domain *)
+}
+
+val outcomes_stateful :
+  ?strategy:strategy -> ?max_events:int -> ?max_executions:int ->
+  ?domains:int -> Program.t -> Outcome.t list * stateful_stats
+(** {!outcomes} as a DAG search: states are claimed in a visited table
+    keyed on exact structural snapshots ({!State_key.exact}), so schedules
+    converging on the same state expand it once.  The outcome set is
+    identical to {!outcomes} for every [strategy] and [domains] value
+    (outcome collection commutes with dedup: a pruned subtree's outcomes
+    were all reached from the first visit).  [domains > 1] explores under a
+    work-stealing scheduler with a shared sharded table; [max_executions]
+    is a global bound, not per-domain.  @raise Limit_exceeded as for
+    {!executions}. *)
+
+val check_drf0_stateful :
+  ?strategy:strategy ->
+  ?model:Wo_core.Sync_model.t ->
+  ?symmetry:bool ->
+  ?max_events:int -> ?max_executions:int ->
+  ?domains:int -> Program.t ->
+  (unit, Wo_core.Drf0.report) result * stateful_stats
+(** Definition 3 as a DAG search.  The visited table is keyed on
+    {!State_key.canonical} encodings — interpreter state plus the
+    incremental checker's happens-before summary, quotiented by the
+    isomorphisms the verdict cannot observe: location renaming, permutation
+    of symmetric processors ([symmetry], default [true]; Dekker-style
+    mirrored programs collapse onto one orbit representative), and
+    per-coordinate rank compression of the clocks.  The verdict always
+    equals {!check_drf0}'s; on racy programs the report is identical too —
+    sequential walks visit children in tree order so the same first racy
+    prefix is found (pruned subtrees are race-free), and parallel walks
+    re-search sequentially once a race is known, so the report is
+    deterministic across [domains].  Custom models (no incremental mode)
+    fall back to the closure tree oracle.  [max_executions] is a global
+    bound.  @raise Limit_exceeded as for {!executions}. *)

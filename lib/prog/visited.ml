@@ -1,0 +1,74 @@
+(* Sharded visited table for the stateful (DAG) enumerator.
+
+   Maps canonical state keys to the sleep set the state was (or is
+   being) explored with.  Sharded by key hash with one mutex per shard,
+   so concurrent workers contend only when they hash to the same shard.
+   Entries store the *full* key (the Hashtbl is keyed by the complete
+   encoding string), so equal hashes alone can never merge distinct
+   states.
+
+   Sleep-set discipline (Godefroid's state-caching refinement): an entry
+   [key -> s0] promises that the subtree below the state restricted by
+   sleep set [s0] is being covered.  A revisit with sleep [s]:
+
+   - [s0 subset-of s]: the new visit would explore a subset of what is
+     already covered — skip.
+   - otherwise: coverage must widen; the entry is lowered to [s0 land s]
+     and the caller re-explores with that (smaller) sleep set.  Sleeping
+     fewer processors only adds executions, so the re-exploration is
+     conservative.
+
+   Claims are recorded on entry (pre-order).  The enumeration DAG is
+   acyclic (every edge performs one memory event, so the event count
+   strictly increases), so a state can never reach itself; a concurrent
+   worker skipping a state another worker has merely *claimed* is sound
+   because the claimant finishes its coverage unless the whole search
+   stops — and the search only stops once the answer (a race, a limit)
+   is already decided. *)
+
+type shard = { lock : Mutex.t; table : (string, int) Hashtbl.t }
+
+type t = { shards : shard array; hits : int Atomic.t }
+
+let default_shards = 64
+
+(* Power-of-two shard count so hash masking is uniform; round up. *)
+let create ?(shards = default_shards) () =
+  let n =
+    let rec up k = if k >= shards || k >= 4096 then k else up (k * 2) in
+    up 1
+  in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 256 });
+    hits = Atomic.make 0;
+  }
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key land (Array.length t.shards - 1))
+
+let try_claim t key sleep =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let verdict =
+    match Hashtbl.find_opt s.table key with
+    | None ->
+      Hashtbl.add s.table key sleep;
+      `Explore sleep
+    | Some s0 ->
+      if s0 land lnot sleep = 0 then `Skip
+      else begin
+        let widened = s0 land sleep in
+        Hashtbl.replace s.table key widened;
+        `Explore widened
+      end
+  in
+  Mutex.unlock s.lock;
+  if verdict = `Skip then Atomic.incr t.hits;
+  verdict
+
+let hits t = Atomic.get t.hits
+
+let size t =
+  Array.fold_left (fun acc s -> acc + Hashtbl.length s.table) 0 t.shards

@@ -1,0 +1,31 @@
+(** Sharded visited table for the stateful (DAG) enumerator.
+
+    Keys are complete {!State_key} encodings — lookups compare full
+    keys, so hash collisions can never merge distinct states.  One mutex
+    per shard; safe to use from any number of domains.
+
+    Each entry records the sleep-set bitset the state was claimed with:
+    the subtree below the state, restricted by that sleep set, is
+    covered (or being covered) by whoever claimed it. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** A fresh table with [shards] (rounded up to a power of two,
+    default 64) independently locked shards. *)
+
+val try_claim : t -> string -> int -> [ `Skip | `Explore of int ]
+(** [try_claim t key sleep] atomically consults and updates the entry
+    for [key]:
+
+    - [`Skip]: an existing claim's sleep set is a subset of [sleep], so
+      everything reachable under [sleep] is already covered — prune.
+    - [`Explore s]: the caller must explore the state with sleep set [s]
+      ([sleep] itself for a first visit, or the intersection with the
+      previous claim, which widens coverage monotonically). *)
+
+val hits : t -> int
+(** Number of [`Skip] verdicts so far (the dedup metric). *)
+
+val size : t -> int
+(** Number of distinct states claimed. *)

@@ -1,0 +1,180 @@
+(* Work-stealing scheduler over OCaml 5 domains.
+
+   The PR-1/PR-3 parallel enumerators split the root region of the
+   search statically: irregular subtrees left whole domains idle while
+   one domain ground through a heavy branch.  This scheduler gives each
+   worker a deque: the owner pushes and pops subtree tasks LIFO at the
+   bottom (depth-first locality, small hot set), idle workers steal FIFO
+   from the top of a victim's deque (the shallowest — biggest — subtrees
+   migrate, keeping steal counts low).  Deques are mutex-protected; the
+   critical sections are a handful of instructions and the owner only
+   touches its own lock off the empty/steal path, so contention is
+   negligible at enumeration granularity.
+
+   Termination: an atomic count of unfinished tasks (incremented at
+   push, decremented after a task's body returns).  A worker with an
+   empty deque cycles over victims; when the count reaches zero everyone
+   exits.  [halt] lets a worker abandon the search early (a race was
+   found); remaining tasks are drained without running their bodies.
+
+   Exceptions: the first failure (lowest worker id wins, determinism for
+   a fixed domain count) is captured, the pool is halted, every domain
+   is joined, and only then is the exception re-raised — no
+   [Option.get]-style partial-result crashes, no orphan domains. *)
+
+type 'a deque = {
+  lock : Mutex.t;
+  mutable items : 'a array option; (* None = empty slot placeholder array *)
+  mutable head : int; (* steal end *)
+  mutable tail : int; (* owner end *)
+}
+
+let deque_create () =
+  { lock = Mutex.create (); items = None; head = 0; tail = 0 }
+
+let deque_push d x =
+  Mutex.lock d.lock;
+  let buf =
+    match d.items with
+    | Some buf when d.tail < Array.length buf -> buf
+    | Some buf ->
+      let live = d.tail - d.head in
+      let buf' = Array.make (max 8 (2 * max live (Array.length buf))) x in
+      Array.blit buf d.head buf' 0 live;
+      d.head <- 0;
+      d.tail <- live;
+      d.items <- Some buf';
+      buf'
+    | None ->
+      let buf = Array.make 8 x in
+      d.items <- Some buf;
+      d.head <- 0;
+      d.tail <- 0;
+      buf
+  in
+  buf.(d.tail) <- x;
+  d.tail <- d.tail + 1;
+  Mutex.unlock d.lock
+
+let deque_pop d =
+  Mutex.lock d.lock;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      d.tail <- d.tail - 1;
+      Some (Option.get d.items).(d.tail)
+    end
+  in
+  Mutex.unlock d.lock;
+  r
+
+let deque_steal d =
+  Mutex.lock d.lock;
+  let r =
+    if d.tail = d.head then None
+    else begin
+      let x = (Option.get d.items).(d.head) in
+      d.head <- d.head + 1;
+      Some x
+    end
+  in
+  Mutex.unlock d.lock;
+  r
+
+let deque_length d =
+  Mutex.lock d.lock;
+  let n = d.tail - d.head in
+  Mutex.unlock d.lock;
+  n
+
+type stats = { steals : int; executed : int array }
+
+type 'a pool = {
+  deques : 'a deque array;
+  pending : int Atomic.t;
+  stopped : bool Atomic.t;
+  failure : (int * exn * Printexc.raw_backtrace) option Atomic.t;
+  steal_count : int Atomic.t;
+  executed : int Atomic.t array;
+}
+
+let run ~domains ~roots f =
+  let n = max 1 domains in
+  let pool =
+    {
+      deques = Array.init n (fun _ -> deque_create ());
+      pending = Atomic.make 0;
+      stopped = Atomic.make false;
+      failure = Atomic.make None;
+      steal_count = Atomic.make 0;
+      executed = Array.init n (fun _ -> Atomic.make 0);
+    }
+  in
+  List.iteri
+    (fun i task ->
+      Atomic.incr pool.pending;
+      deque_push pool.deques.(i mod n) task)
+    roots;
+  let worker w =
+    let my = pool.deques.(w) in
+    let push task =
+      Atomic.incr pool.pending;
+      deque_push my task
+    in
+    let hungry () = deque_length my < 2 in
+    let halt () = Atomic.set pool.stopped true in
+    let run_task task =
+      if not (Atomic.get pool.stopped) then begin
+        Atomic.incr pool.executed.(w);
+        (try f ~worker:w ~push ~hungry ~halt task with
+        | e ->
+          let bt = Printexc.get_raw_backtrace () in
+          (* lowest worker id wins, so the surfaced failure is stable
+             for a fixed domain count *)
+          let rec record () =
+            match Atomic.get pool.failure with
+            | Some (w0, _, _) when w0 <= w -> ()
+            | cur ->
+              if not (Atomic.compare_and_set pool.failure cur (Some (w, e, bt)))
+              then record ()
+          in
+          record ();
+          halt ())
+      end;
+      Atomic.decr pool.pending
+    in
+    let rec steal_from k tries =
+      if tries = 0 then None
+      else
+        match deque_steal pool.deques.(k) with
+        | Some _ as r ->
+          Atomic.incr pool.steal_count;
+          r
+        | None -> steal_from ((k + 1) mod n) (tries - 1)
+    in
+    let rec loop () =
+      match deque_pop my with
+      | Some task ->
+        run_task task;
+        loop ()
+      | None ->
+        if Atomic.get pool.pending = 0 then ()
+        else begin
+          (match steal_from ((w + 1) mod n) (n - 1) with
+          | Some task -> run_task task
+          | None -> Domain.cpu_relax ());
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let spawned = List.init (n - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+  worker 0;
+  List.iter Domain.join spawned;
+  (match Atomic.get pool.failure with
+  | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  {
+    steals = Atomic.get pool.steal_count;
+    executed = Array.map Atomic.get pool.executed;
+  }

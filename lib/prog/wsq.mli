@@ -1,0 +1,35 @@
+(** Work-stealing task scheduler over OCaml 5 domains.
+
+    Replaces the static root split of the earlier parallel enumerators:
+    each worker owns a deque of subtree tasks, pushes and pops LIFO
+    (depth-first locality) and steals FIFO from a victim when idle, so
+    the shallowest — biggest — subtrees migrate to idle domains and
+    irregular search trees keep every domain busy.
+
+    [domains = 1] runs everything on the calling domain (no spawns). *)
+
+type stats = {
+  steals : int;  (** successful steals across the run *)
+  executed : int array;  (** tasks executed per worker *)
+}
+
+val run :
+  domains:int ->
+  roots:'a list ->
+  (worker:int ->
+  push:('a -> unit) ->
+  hungry:(unit -> bool) ->
+  halt:(unit -> unit) ->
+  'a ->
+  unit) ->
+  stats
+(** [run ~domains ~roots f] distributes [roots] round-robin and runs
+    [f] on every task until none remain.  Inside [f]: [push] adds a
+    subtask to the calling worker's deque; [hungry ()] is true when that
+    deque is nearly empty (the cue to expose subtasks for stealing
+    instead of recursing inline); [halt ()] abandons the search —
+    remaining tasks are drained without running.
+
+    If any [f] raises, the pool halts, {e all} domains are joined, and
+    the failure of the lowest worker id is re-raised with its backtrace
+    — tasks never vanish silently and no domain is left running. *)

@@ -12,16 +12,36 @@ let parallel_map ~domains f items =
   let d = max 1 (min domains n) in
   if d = 1 then Array.iteri (fun i x -> out.(i) <- Some (f x)) arr
   else begin
+    (* A worker that raises must not leave the others orphaned, and the
+       caller must not crash on a hole in [out] ([Option.get]) instead of
+       seeing the real exception: capture the failure (lowest worker index
+       wins, so the surfaced exception is deterministic for a fixed domain
+       count), join every domain, then re-raise with its backtrace. *)
+    let failure = Atomic.make None in
     let worker k () =
-      let i = ref k in
-      while !i < n do
-        out.(!i) <- Some (f arr.(!i));
-        i := !i + d
-      done
+      try
+        let i = ref k in
+        while !i < n do
+          out.(!i) <- Some (f arr.(!i));
+          i := !i + d
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        let rec record () =
+          match Atomic.get failure with
+          | Some (k0, _, _) when k0 <= k -> ()
+          | cur ->
+            if not (Atomic.compare_and_set failure cur (Some (k, e, bt)))
+            then record ()
+        in
+        record ()
     in
     let spawned = List.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
     worker 0 ();
-    List.iter Domain.join spawned
+    List.iter Domain.join spawned;
+    match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
   end;
   Array.to_list (Array.map Option.get out)
 
@@ -44,14 +64,27 @@ type litmus_campaign = {
 
 (* Structural identity of the parts of a program the SC outcome set
    depends on.  [Instr.t] and the initial/observable lists are pure data
-   (no closures), so marshalling them is a sound content hash. *)
+   (no closures), so marshalling them is a sound content identity.  The
+   digest is only an accelerator: on a digest hit the full payload is
+   compared too, so a Digest collision between distinct programs can
+   never hand a test the wrong memoized SC outcome set. *)
+type program_key = { pk_digest : Digest.t; pk_payload : string }
+
 let program_key (p : Wo_prog.Program.t) =
-  Digest.string
-    (Marshal.to_string
-       ( p.Wo_prog.Program.threads,
-         p.Wo_prog.Program.initial,
-         p.Wo_prog.Program.observable )
-       [])
+  let payload =
+    Marshal.to_string
+      ( p.Wo_prog.Program.threads,
+        p.Wo_prog.Program.initial,
+        p.Wo_prog.Program.observable )
+      []
+  in
+  { pk_digest = Digest.string payload; pk_payload = payload }
+
+let key_equal a b =
+  a.pk_digest = b.pk_digest && String.equal a.pk_payload b.pk_payload
+
+let find_keyed key table =
+  List.find_map (fun (k, v) -> if key_equal k key then Some v else None) table
 
 let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
@@ -66,7 +99,7 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
   let distinct =
     List.fold_left
       (fun acc (t, key) ->
-        if t.Wo_litmus.Litmus.loops || List.mem_assoc key acc then acc
+        if t.Wo_litmus.Litmus.loops || find_keyed key acc <> None then acc
         else (key, t) :: acc)
       [] keyed
     |> List.rev
@@ -74,7 +107,10 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
   let sc_table =
     parallel_map ~domains:d
       (fun (key, (t : Wo_litmus.Litmus.t)) ->
-        (key, Wo_prog.Enumerate.outcomes t.Wo_litmus.Litmus.program))
+        ( key,
+          fst
+            (Wo_prog.Enumerate.outcomes_stateful ~domains:1
+               t.Wo_litmus.Litmus.program) ))
       distinct
   in
   (* Phase 2: the test × machine product, each cell an independent
@@ -86,7 +122,7 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
   let cells =
     parallel_map ~domains:d
       (fun ((t : Wo_litmus.Litmus.t), key, (m : Wo_machines.Machine.t)) ->
-        let sc_outcomes = List.assoc_opt key sc_table in
+        let sc_outcomes = find_keyed key sc_table in
         let report =
           Wo_litmus.Runner.run ?runs ?base_seed ?sc_outcomes m t
         in
@@ -109,7 +145,8 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
     domains_used = d;
     sc_sets = List.length distinct;
     sc_reused =
-      List.length (List.filter (fun (_, k, _) -> List.mem_assoc k sc_table) jobs)
+      List.length
+        (List.filter (fun (_, k, _) -> find_keyed k sc_table <> None) jobs)
       - List.length distinct;
   }
 

@@ -19,7 +19,21 @@ val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map with the calls spread over [min domains
     (length items)] domains (strided assignment; the calling domain is
     one of the workers).  [f] must be safe to call from multiple
-    domains at once. *)
+    domains at once.  If any call raises, every domain is still joined
+    and the failure of the lowest worker index is re-raised — the same
+    exception surfaces for a fixed domain count. *)
+
+type program_key = { pk_digest : Digest.t; pk_payload : string }
+(** Structural identity of the parts of a program the SC outcome set
+    depends on.  The digest accelerates comparison; equality always
+    confirms on the full payload, so a digest collision cannot alias
+    two distinct programs.  (The representation is exposed exactly so
+    tests can forge a colliding digest and exercise that path.) *)
+
+val program_key : Wo_prog.Program.t -> program_key
+
+val find_keyed : program_key -> (program_key * 'a) list -> 'a option
+(** First binding whose key is {e fully} equal (digest and payload). *)
 
 (** {1 Litmus campaigns} *)
 

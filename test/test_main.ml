@@ -15,6 +15,7 @@ let () =
       ("lemma1", Test_lemma1.tests);
       ("prog", Test_prog.tests);
       ("enumerate", Test_enumerate.tests);
+      ("statespace", Test_statespace.tests);
       ("sim", Test_sim.tests);
       ("interconnect", Test_interconnect.tests);
       ("cache", Test_cache.tests);

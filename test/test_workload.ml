@@ -60,6 +60,69 @@ let test_validator_rejects_wrong_outcomes () =
   let missing = Wo_prog.Outcome.make ~registers:[] ~memory:[] in
   check "missing location rejected" true (w.W.validate missing <> Ok ())
 
+(* --- sweep driver ---------------------------------------------------------- *)
+
+let test_program_key_survives_digest_collision () =
+  let module S = Wo_workload.Sweep in
+  let pa = Wo_litmus.Litmus.figure1.Wo_litmus.Litmus.program in
+  let pb = Wo_litmus.Litmus.dekker_sync.Wo_litmus.Litmus.program in
+  let ka = S.program_key pa and kb = S.program_key pb in
+  check "distinct programs get distinct keys" false (ka = kb);
+  let table = [ (ka, "outcomes of pa") ] in
+  check "honest lookup hits" true (S.find_keyed ka table = Some "outcomes of pa");
+  check "honest miss" true (S.find_keyed kb table = None);
+  (* Forge the collision Digest.string cannot be made to produce on demand:
+     a different program whose key carries pa's digest.  The full-payload
+     comparison must refuse to hand pb pa's memoized SC outcome set. *)
+  let forged = { kb with S.pk_digest = ka.S.pk_digest } in
+  check "digest collision does not alias" true (S.find_keyed forged table = None)
+
+let test_parallel_map_propagates_exceptions () =
+  let module S = Wo_workload.Sweep in
+  let items = List.init 20 (fun i -> i) in
+  check "exception surfaces instead of Option.get crash" true
+    (try
+       ignore
+         (S.parallel_map ~domains:4
+            (fun i -> if i = 11 then failwith "cell blew up" else i)
+            items);
+       false
+     with Failure m -> m = "cell blew up");
+  (* And deterministically so: same failure on every repetition. *)
+  for _ = 1 to 5 do
+    match
+      S.parallel_map ~domains:3
+        (fun i -> if i mod 7 = 3 then raise Exit else i)
+        items
+    with
+    | _ -> Alcotest.fail "expected Exit"
+    | exception Exit -> ()
+  done
+
+let test_litmus_campaign_unaffected_by_stateful_memoization () =
+  (* The SC memoization phase now runs the stateful enumerator; cells must
+     be bit-identical to a direct tree enumeration of each program. *)
+  let module S = Wo_workload.Sweep in
+  let tests =
+    [ Wo_litmus.Litmus.figure1; Wo_litmus.Litmus.message_passing ]
+  in
+  let machines = [ Option.get (Wo_machines.Presets.find "sc-dir") ] in
+  let campaign = S.litmus_campaign ~runs:4 ~base_seed:1 ~domains:2 ~machines tests in
+  check "all cells ran" true
+    (List.length campaign.S.cells = List.length tests);
+  List.iter
+    (fun (c : S.litmus_cell) ->
+      let direct =
+        Wo_prog.Enumerate.outcomes c.S.test.Wo_litmus.Litmus.program
+      in
+      let via_campaign = c.S.report.Wo_litmus.Runner.sc_outcomes in
+      check
+        (c.S.test.Wo_litmus.Litmus.name ^ " SC set matches tree enumeration")
+        true
+        (List.length direct = List.length via_campaign
+        && List.for_all2 Wo_prog.Outcome.equal direct via_campaign))
+    campaign.S.cells
+
 let test_workload_programs_have_loops () =
   (* every workload synchronizes by spinning somewhere *)
   List.iter
@@ -79,4 +142,10 @@ let tests =
     Alcotest.test_case "validator rejects bad outcomes" `Quick
       test_validator_rejects_wrong_outcomes;
     Alcotest.test_case "workloads spin" `Quick test_workload_programs_have_loops;
+    Alcotest.test_case "program_key survives digest collisions" `Quick
+      test_program_key_survives_digest_collision;
+    Alcotest.test_case "parallel_map propagates exceptions" `Quick
+      test_parallel_map_propagates_exceptions;
+    Alcotest.test_case "campaign SC sets match tree enumeration" `Quick
+      test_litmus_campaign_unaffected_by_stateful_memoization;
   ]
