@@ -1,0 +1,150 @@
+(* Experiment E13 — the spec layer is free.
+
+   Presets build every machine from a declarative Spec value instead of
+   a hand-written driver config.  The layer must be pure construction
+   cost: once [Spec.build] returns, the machine closure runs the exact
+   simulation the direct [Coherent.make]/[Uncached.make] call would.
+   (test/test_spec.ml proves the results byte-identical; this experiment
+   checks the wall clock.)
+
+   As in E10 we cannot diff against a binary without the layer, so the
+   claim is bounded with an interleaved split-half measurement: passes
+   of the spec-built machine and of a machine built directly from the
+   frozen driver config alternate over the same seeds, and their
+   minimum-over-rounds timings must agree within the noise budget
+   (<= 5%).  Results go to stdout and BENCH_machines.json. *)
+
+module M = Wo_machines.Machine
+module P = Wo_machines.Presets
+module S = Wo_machines.Spec
+
+let now () = Unix.gettimeofday ()
+
+type duel = {
+  label : string;
+  spec_machine : M.t;  (** built by [Spec.build], as Presets does *)
+  direct_machine : M.t;  (** built straight from the driver config *)
+  program : Wo_prog.Program.t;
+  iters : int;
+}
+
+let duels () =
+  let scenario = Wo_litmus.Litmus.figure3_scenario () in
+  let iters = Exp_common.scaled 2500 100 in
+  [
+    {
+      label = "wo-new / figure3";
+      spec_machine = S.build P.wo_new_spec;
+      direct_machine =
+        Wo_machines.Coherent.make ~name:"wo-new" ~description:""
+          ~sequentially_consistent:false ~weakly_ordered_drf0:true
+          P.wo_new_config;
+      program = scenario.Wo_litmus.Litmus.program;
+      iters;
+    };
+    {
+      label = "bus-nocache-wb / dekker";
+      spec_machine = S.build P.bus_nocache_wb_spec;
+      direct_machine =
+        Wo_machines.Uncached.make ~name:"bus-nocache-wb" ~description:""
+          ~sequentially_consistent:false ~weakly_ordered_drf0:true
+          (S.uncached_config P.bus_nocache_wb_spec);
+      program = Wo_litmus.Litmus.dekker_sync.Wo_litmus.Litmus.program;
+      (* a dekker run is much cheaper than figure3; keep pass times
+         comparable so the clock resolves the same relative noise *)
+      iters = 4 * iters;
+    };
+  ]
+
+let pass machine program ~iters =
+  Gc.full_major ();
+  let t0 = now () in
+  for seed = 1 to iters do
+    ignore (M.run machine ~seed program)
+  done;
+  now () -. t0
+
+type row = {
+  label : string;
+  spec_s : float;
+  direct_s : float;
+  delta_pct : float;  (** split-half disagreement of the two arms *)
+}
+
+let rounds = 6
+
+let measure d =
+  (* Interleaved rounds with the arms swapping position every round so
+     neither systematically runs warmer; minimum-over-rounds is the
+     robust estimator, as in E10. *)
+  ignore (pass d.spec_machine d.program ~iters:d.iters) (* warm-up *);
+  let specs = ref [] and directs = ref [] in
+  for round = 1 to rounds do
+    let first, second =
+      if round mod 2 = 0 then (d.direct_machine, d.spec_machine)
+      else (d.spec_machine, d.direct_machine)
+    in
+    let t1 = pass first d.program ~iters:d.iters in
+    let t2 = pass second d.program ~iters:d.iters in
+    let spec_t, direct_t = if round mod 2 = 0 then (t2, t1) else (t1, t2) in
+    specs := spec_t :: !specs;
+    directs := direct_t :: !directs
+  done;
+  let min_of l = List.fold_left Float.min infinity l in
+  let spec_s = min_of !specs and direct_s = min_of !directs in
+  let delta_pct =
+    if Float.min spec_s direct_s <= 0.0 then 0.0
+    else (Float.max spec_s direct_s /. Float.min spec_s direct_s -. 1.0) *. 100.0
+  in
+  { label = d.label; spec_s; direct_s; delta_pct }
+
+module J = Wo_obs.Json
+
+let metrics_fields rows =
+  [
+    ("quick", J.Bool Exp_common.quick);
+    ("budget_pct", J.Float 5.0);
+    ( "duels",
+      J.List
+        (List.map
+           (fun r ->
+             J.Obj
+               [
+                 ("duel", J.String r.label);
+                 ("spec_seconds", J.Float r.spec_s);
+                 ("direct_seconds", J.Float r.direct_s);
+                 ("delta_pct", J.Float r.delta_pct);
+                 ("within_budget", J.Bool (r.delta_pct <= 5.0));
+               ])
+           rows) );
+  ]
+
+let run () =
+  Wo_report.Table.heading
+    "E13 / machines as data — the spec layer costs nothing at run time";
+  Printf.printf
+    "Per duel: %d interleaved rounds of spec-built vs direct-config passes\n\
+     over the same seeds (arms swap position every round), with\n\
+     minimum-over-rounds timings.  The contract: the two arms agree within\n\
+     5%% — Spec.build is construction-time only, the run loop is shared.\n\n"
+    rounds;
+  let rows = List.map measure (duels ()) in
+  Wo_report.Table.print
+    ~align:Wo_report.Table.[ L; R; R; R; L ]
+    ~headers:[ "duel"; "spec (s)"; "direct (s)"; "delta"; "<=5%" ]
+    (List.map
+       (fun r ->
+         [
+           r.label;
+           Printf.sprintf "%.3f" r.spec_s;
+           Printf.sprintf "%.3f" r.direct_s;
+           Printf.sprintf "%.1f%%" r.delta_pct;
+           Exp_common.yes_no (r.delta_pct <= 5.0);
+         ])
+       rows);
+  print_newline ();
+  Exp_common.write_metrics ~experiment:"e13" ~path:"BENCH_machines.json"
+    (metrics_fields rows);
+  print_endline
+    "Expected: both duels within the 5% budget — a machine defined as data\n\
+     simulates exactly as fast as one wired up by hand."

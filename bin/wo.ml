@@ -36,6 +36,23 @@ let machine_arg =
   in
   Arg.(value & opt string "wo-new" & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
 
+let machine_file_doc =
+  "Load the machine from a JSON spec file instead of the presets (fabric, \
+   memory organisation, sync policy; see examples/machines/*.json and `wo \
+   list --machines --json' for the schema)."
+
+let machine_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "machine-file" ] ~docv:"FILE" ~doc:machine_file_doc)
+
+let machine_files_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "machine-file" ] ~docv:"FILE"
+        ~doc:(machine_file_doc ^ " Repeatable; adds to $(b,-m)."))
+
 let runs_arg =
   Arg.(
     value & opt int 100
@@ -82,6 +99,24 @@ let get_litmus name =
       (Printf.sprintf "unknown litmus test %S; try one of: %s" name
          (String.concat ", " (List.map (fun (t : L.t) -> t.L.name) L.all)))
 
+let load_spec path =
+  match Wo_machines.Spec.of_file path with
+  | Ok spec -> Ok spec
+  | Error e -> Error (Printf.sprintf "machine spec: %s" e)
+
+(* [--machine-file] wins over [-m] when both are given. *)
+let resolve_machine name = function
+  | None -> get_machine name
+  | Some path -> Result.map Wo_machines.Spec.build (load_spec path)
+
+let get_spec name =
+  match Wo_machines.Presets.spec_of name with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown machine %S; try one of: %s" name
+         (String.concat ", " machine_names))
+
 let get_workload name =
   match
     List.find_opt
@@ -106,19 +141,41 @@ let or_die = function
 (* --- wo list ------------------------------------------------------------- *)
 
 let list_cmd =
-  let run () =
-    Wo_report.Table.heading "Machines";
-    Wo_report.Table.print ~headers:[ "name"; "SC"; "WO/DRF0"; "description" ]
-      (List.map
-         (fun (m : M.t) ->
-           [
-             m.M.name;
-             (if m.M.sequentially_consistent then "yes" else "no");
-             (if m.M.weakly_ordered_drf0 then "yes" else "no");
-             (let d = m.M.description in
-              if String.length d > 60 then String.sub d 0 57 ^ "..." else d);
-           ])
-         Wo_machines.Presets.all);
+  let machines_only_arg =
+    Arg.(
+      value & flag
+      & info [ "machines" ] ~doc:"List only the machines (skip litmus tests and workloads).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the preset machine specs as a JSON list (the schema \
+             accepted by $(b,--machine-file)); implies $(b,--machines).")
+  in
+  let rec run machines_only json =
+    if json then
+      print_endline
+        (Wo_obs.Json.to_string ~pretty:true
+           (Wo_obs.Json.List
+              (List.map Wo_machines.Spec.to_json Wo_machines.Presets.specs)))
+    else begin
+      Wo_report.Table.heading "Machines";
+      Wo_report.Table.print ~headers:[ "name"; "SC"; "WO/DRF0"; "description" ]
+        (List.map
+           (fun (m : M.t) ->
+             [
+               m.M.name;
+               (if m.M.sequentially_consistent then "yes" else "no");
+               (if m.M.weakly_ordered_drf0 then "yes" else "no");
+               (let d = m.M.description in
+                if String.length d > 60 then String.sub d 0 57 ^ "..." else d);
+             ])
+           Wo_machines.Presets.all);
+      if not machines_only then list_rest ()
+    end
+  and list_rest () =
     Wo_report.Table.heading "Litmus tests";
     Wo_report.Table.print ~headers:[ "name"; "DRF0"; "loops" ]
       (List.map
@@ -142,7 +199,7 @@ let list_cmd =
   in
   Cmd.v
     (Cmd.info "list" ~doc:"Catalogue of machines, litmus tests and workloads")
-    Term.(const run $ const ())
+    Term.(const run $ machines_only_arg $ json_arg)
 
 (* --- wo litmus ----------------------------------------------------------- *)
 
@@ -153,9 +210,9 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
   in
-  let run test machine runs seed metrics =
+  let run test machine machine_file runs seed metrics =
     let test = or_die (get_litmus test) in
-    let machine = or_die (get_machine machine) in
+    let machine = or_die (resolve_machine machine machine_file) in
     machine_errors @@ fun () ->
     let report = Wo_litmus.Runner.run ~runs ~base_seed:seed machine test in
     Format.printf "%a@.@." Wo_litmus.Runner.pp_report report;
@@ -221,7 +278,9 @@ let litmus_cmd =
   Cmd.v
     (Cmd.info "litmus"
        ~doc:"Run a litmus test on a machine and compare with the SC set")
-    Term.(const run $ test_arg $ machine_arg $ runs_arg $ seed_arg $ metrics_arg)
+    Term.(
+      const run $ test_arg $ machine_arg $ machine_file_arg $ runs_arg
+      $ seed_arg $ metrics_arg)
 
 (* --- wo races ------------------------------------------------------------- *)
 
@@ -492,14 +551,20 @@ let sweep_cmd =
       & info [ "workloads" ]
           ~doc:"Also sweep the performance workloads (average cycles).")
   in
-  let run jobs machine_names runs seed with_workloads metrics =
-    let machines = List.map (fun n -> or_die (get_machine n)) machine_names in
+  let run jobs machine_names machine_files runs seed with_workloads metrics =
+    (* The campaign runs over machine specs: presets resolve to theirs,
+       and [--machine-file] appends JSON-defined machines to the grid. *)
+    let specs =
+      List.map (fun n -> or_die (get_spec n)) machine_names
+      @ List.map (fun f -> or_die (load_spec f)) machine_files
+    in
+    let machines = List.map Wo_machines.Spec.build specs in
     let domains = if jobs <= 0 then None else Some jobs in
     machine_errors @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let campaign =
-      Wo_workload.Sweep.litmus_campaign ~runs ~base_seed:seed ?domains
-        ~machines Wo_litmus.Litmus.all
+      Wo_workload.Sweep.spec_campaign ~runs ~base_seed:seed ?domains ~specs
+        Wo_litmus.Litmus.all
     in
     let litmus_secs = Unix.gettimeofday () -. t0 in
     Wo_report.Table.heading
@@ -614,8 +679,8 @@ let sweep_cmd =
          "Run the full litmus x machine campaign in parallel across OCaml \
           domains")
     Term.(
-      const run $ jobs_arg $ machines_arg $ runs_arg $ seed_arg
-      $ workloads_arg $ metrics_arg)
+      const run $ jobs_arg $ machines_arg $ machine_files_arg $ runs_arg
+      $ seed_arg $ workloads_arg $ metrics_arg)
 
 (* --- wo trace -------------------------------------------------------------- *)
 
@@ -665,9 +730,9 @@ let trace_cmd =
         procs;
       Format.fprintf ppf "  all processors: %d@." (Wo_obs.Stall.total stalls)
   in
-  let run test machine seed format out =
+  let run test machine machine_file seed format out =
     let test = or_die (get_litmus test) in
-    let machine = or_die (get_machine machine) in
+    let machine = or_die (resolve_machine machine machine_file) in
     machine_errors @@ fun () ->
     let emit s =
       match out with
@@ -731,7 +796,9 @@ let trace_cmd =
        ~doc:
          "Run once and export the timeline (pretty, Perfetto trace JSON, or \
           metrics JSON)")
-    Term.(const run $ test_arg $ machine_arg $ seed_arg $ format_arg $ out_arg)
+    Term.(
+      const run $ test_arg $ machine_arg $ machine_file_arg $ seed_arg
+      $ format_arg $ out_arg)
 
 (* --- wo litmus-file ----------------------------------------------------------- *)
 

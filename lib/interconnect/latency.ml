@@ -1,5 +1,15 @@
 type t = src:int -> dst:int -> int
 
+type spec =
+  | Fixed of int
+  | Jittered of { base : int; jitter : int }
+  | Spiky of {
+      base : int;
+      jitter : int;
+      spike_probability : float;
+      spike_factor : int;
+    }
+
 let fixed n ~src:_ ~dst:_ = n
 
 let jittered rng ~base ~jitter ~src:_ ~dst:_ =
@@ -8,6 +18,12 @@ let jittered rng ~base ~jitter ~src:_ ~dst:_ =
 let spiky rng ~base ~jitter ~spike_probability ~spike_factor ~src:_ ~dst:_ =
   let d = if jitter <= 0 then base else base + Wo_sim.Rng.int rng (jitter + 1) in
   if Wo_sim.Rng.chance rng spike_probability then d * max 1 spike_factor else d
+
+let of_spec rng = function
+  | Fixed n -> fixed n
+  | Jittered { base; jitter } -> jittered rng ~base ~jitter
+  | Spiky { base; jitter; spike_probability; spike_factor } ->
+    spiky rng ~base ~jitter ~spike_probability ~spike_factor
 
 let scale_nodes factors inner ~src ~dst =
   let factor n = match List.assoc_opt n factors with Some f -> f | None -> 1 in

@@ -8,6 +8,23 @@
 
 type t = src:int -> dst:int -> int
 
+type spec =
+  | Fixed of int
+  | Jittered of { base : int; jitter : int }
+  | Spiky of {
+      base : int;
+      jitter : int;
+      spike_probability : float;
+      spike_factor : int;
+    }
+(** A latency model as data, so machine specifications can carry one
+    (serialized, compared, swept over) and build the function only when a
+    simulation starts.  {!of_spec} is the sole interpreter. *)
+
+val of_spec : Wo_sim.Rng.t -> spec -> t
+(** [Fixed] ignores the generator; the jittered models consult it per
+    message exactly as {!jittered} and {!spiky} do. *)
+
 val fixed : int -> t
 
 val jittered : Wo_sim.Rng.t -> base:int -> jitter:int -> t

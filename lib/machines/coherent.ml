@@ -43,7 +43,7 @@ let relaxed_policy =
     sync_wait = Sync_wait_commit;
   }
 
-type fabric_kind =
+type fabric_kind = Memsys.fabric_kind =
   | Bus of { transfer_cycles : int }
   | Net of { base : int; jitter : int }
   | Net_spiky of {
@@ -52,6 +52,7 @@ type fabric_kind =
       spike_probability : float;
       spike_factor : int;
     }
+  | Net_fixed of { latency : int }
 
 type migration = {
   thread : int;        (* which thread moves *)
@@ -74,31 +75,13 @@ type config = {
 
 let default_net = Net { base = 4; jitter = 6 }
 
-(* One dynamic memory operation's lifecycle record. *)
-type op_rec = {
-  id : int;
-  oproc : int;
-  oseq : int;
-  okind : Wo_core.Event.kind;
-  oloc : Wo_core.Event.loc;
-  mutable rv : Wo_core.Event.value option;
-  mutable wv : Wo_core.Event.value option;
-  mutable issued : int;
-  mutable committed : int;
-  mutable performed : int;
-}
-
 type proc_ctx = {
-  mutable fe : Proc_frontend.t option;  (* set after creation (cyclic) *)
   mutable cache_id : int;
       (* which processor's cache this thread currently runs on; changes
          only through migration *)
   mutable gp_outstanding : int;
   mutable gp_zero_waiters : (unit -> unit) list;
-  mutable finish_time : int;
 }
-
-let frontend ctx = Option.get ctx.fe
 
 let is_sync_kind = function
   | Wo_core.Event.Sync_read | Wo_core.Event.Sync_write | Wo_core.Event.Sync_rmw ->
@@ -117,391 +100,244 @@ let access_kind (policy : policy) (op : Proc_frontend.memory_op) :
   | Wo_core.Event.Sync_rmw, `Rmw f -> `Sync_rmw f
   | _ -> invalid_arg "Coherent.access_kind: malformed memory operation"
 
-let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
-    (config : config) : Machine.t =
-  let run ~seed (program : Wo_prog.Program.t) : Machine.result =
-    let engine = Wo_sim.Engine.create () in
-    let stats = Wo_sim.Stats.create () in
-    let stalls = Wo_obs.Stall.create () in
-    let taps = Wo_obs.Tap.create () in
-    let obs = Wo_obs.Recorder.active () in
-    let tap msg ~src:_ ~dst:_ ~latency =
-      Wo_obs.Tap.record taps ~name:(Wo_cache.Msg.tag msg) ~latency
-    in
-    let rng = Wo_sim.Rng.make seed in
-    let num_procs = Wo_prog.Program.num_procs program in
-    let num_caches =
-      List.fold_left
-        (fun m (mg : migration) -> max m (mg.to_cache + 1))
-        num_procs config.migrations
-    in
-    let dir_node = num_caches in
-    let fabric =
-      match config.fabric with
-      | Bus { transfer_cycles } ->
-        Wo_interconnect.Fabric.of_bus
-          (Wo_interconnect.Bus.create ~engine ~stats ~tap ~transfer_cycles ())
-      | Net { base; jitter } ->
-        let net_rng = Wo_sim.Rng.split rng in
-        let latency =
-          Wo_interconnect.Latency.scale_routes config.slow_routes
-            (Wo_interconnect.Latency.scale_nodes config.slow_procs
-               (Wo_interconnect.Latency.jittered net_rng ~base ~jitter))
-        in
-        Wo_interconnect.Fabric.of_network
-          (Wo_interconnect.Network.create ~engine ~stats ~tap ~latency ())
-      | Net_spiky { base; jitter; spike_probability; spike_factor } ->
-        let net_rng = Wo_sim.Rng.split rng in
-        let latency =
-          Wo_interconnect.Latency.scale_routes config.slow_routes
-            (Wo_interconnect.Latency.scale_nodes config.slow_procs
-               (Wo_interconnect.Latency.spiky net_rng ~base ~jitter
-                  ~spike_probability ~spike_factor))
-        in
-        Wo_interconnect.Fabric.of_network
-          (Wo_interconnect.Network.create ~engine ~stats ~tap ~latency ())
-    in
-    let directory =
-      Wo_cache.Directory.create ~engine ~fabric ~node:dir_node ~stats ~obs
-        ~initial:(Wo_prog.Program.initial_value program)
-        ()
-    in
-    let caches =
-      Array.init num_caches (fun p ->
-          Cache_ctrl.create ~engine ~fabric ~node:p ~dir_node ~stats ~stalls
-            ~obs config.cache)
-    in
-    let ctxs =
-      Array.init num_procs (fun p ->
-          {
-            fe = None;
-            cache_id = p;
-            gp_outstanding = 0;
-            gp_zero_waiters = [];
-            finish_time = -1;
-          })
-    in
-    let cache_of ctx = caches.(ctx.cache_id) in
-    let next_op_id = ref 0 in
-    let ops_rev = ref [] in
-    (* [stall_at] back-dates the attribution span to end at [until]
-       (needed when a wait's two phases are only known after the fact);
-       [stall] ends it now. *)
-    let stall_at ctx_proc reason ~until cycles =
-      Wo_obs.Stall.add stalls ~sink:obs ~now:until ~proc:ctx_proc reason cycles
-    in
-    let stall ctx_proc reason cycles =
-      stall_at ctx_proc reason ~until:(Wo_sim.Engine.now engine) cycles
-    in
-    let on_gp_zero ctx k =
-      if ctx.gp_outstanding = 0 then k ()
-      else ctx.gp_zero_waiters <- k :: ctx.gp_zero_waiters
-    in
-    let decr_gp ctx =
-      ctx.gp_outstanding <- ctx.gp_outstanding - 1;
-      assert (ctx.gp_outstanding >= 0);
-      if ctx.gp_outstanding = 0 then begin
-        let ws = ctx.gp_zero_waiters in
-        ctx.gp_zero_waiters <- [];
-        List.iter (fun k -> k ()) ws
-      end
-    in
-    let perform_fence p =
-      (* proceed only when everything previously issued is globally
-         performed *)
-      let ctx = ctxs.(p) in
-      let t0 = Wo_sim.Engine.now engine in
-      on_gp_zero ctx (fun () ->
-          stall p Wo_obs.Stall.Counter_drain (Wo_sim.Engine.now engine - t0);
-          Proc_frontend.resume (frontend ctx) ~store:None ~delay:1)
-    in
-    let perform p (op : Proc_frontend.memory_op) =
-      let ctx = ctxs.(p) in
-      let sync = is_sync_kind op.Proc_frontend.kind in
-      let issue () =
-        let id = !next_op_id in
-        incr next_op_id;
-        let r =
-          {
-            id;
-            oproc = p;
-            oseq = op.Proc_frontend.seq;
-            okind = op.Proc_frontend.kind;
-            oloc = op.Proc_frontend.loc;
-            rv = None;
-            wv =
-              (match op.Proc_frontend.payload with
-              | `Write v -> Some v
-              | `Read | `Rmw _ -> None);
-            issued = Wo_sim.Engine.now engine;
-            committed = -1;
-            performed = -1;
-          }
-        in
-        ops_rev := r :: !ops_rev;
-        ctx.gp_outstanding <- ctx.gp_outstanding + 1;
-        (* Decide when the processor proceeds past this operation. *)
-        let resume_on =
-          if sync && not config.policy.sync_as_data then
-            match config.policy.sync_wait with
-            | Sync_wait_gp -> `Gp
-            | Sync_wait_commit -> `Commit
-            | Sync_wait_none -> (
-              (* Even lawless hardware must wait for a value it needs. *)
-              match op.Proc_frontend.payload with
-              | `Read | `Rmw _ -> `Commit
-              | `Write _ -> `Issue)
-          else
+(* The coherent memory system: private MSI caches over a full-map
+   directory; the ordering policy decides what a processor waits for.
+   Everything machine-generic lives in {!Driver}. *)
+let build (config : config) (env : Driver.env) : Memsys.port =
+  let engine = env.Driver.engine in
+  let num_procs = env.Driver.num_procs in
+  let num_caches =
+    List.fold_left
+      (fun m (mg : migration) -> max m (mg.to_cache + 1))
+      num_procs config.migrations
+  in
+  let dir_node = num_caches in
+  let fabric =
+    Driver.fabric env ~tag:Wo_cache.Msg.tag ~slow_procs:config.slow_procs
+      ~slow_routes:config.slow_routes config.fabric
+  in
+  let directory =
+    Wo_cache.Directory.create ~engine ~fabric ~node:dir_node
+      ~stats:env.Driver.stats ~obs:env.Driver.obs
+      ~initial:(Wo_prog.Program.initial_value env.Driver.program)
+      ()
+  in
+  let caches =
+    Array.init num_caches (fun p ->
+        Cache_ctrl.create ~engine ~fabric ~node:p ~dir_node
+          ~stats:env.Driver.stats ~stalls:env.Driver.stalls ~obs:env.Driver.obs
+          config.cache)
+  in
+  let ctxs =
+    Array.init num_procs (fun p ->
+        { cache_id = p; gp_outstanding = 0; gp_zero_waiters = [] })
+  in
+  let cache_of ctx = caches.(ctx.cache_id) in
+  let stall_at p reason ~until cycles =
+    Driver.stall_at env ~proc:p reason ~until cycles
+  in
+  let stall p reason cycles = Driver.stall env ~proc:p reason cycles in
+  let on_gp_zero ctx k =
+    if ctx.gp_outstanding = 0 then k ()
+    else ctx.gp_zero_waiters <- k :: ctx.gp_zero_waiters
+  in
+  let decr_gp ctx =
+    ctx.gp_outstanding <- ctx.gp_outstanding - 1;
+    assert (ctx.gp_outstanding >= 0);
+    if ctx.gp_outstanding = 0 then begin
+      let ws = ctx.gp_zero_waiters in
+      ctx.gp_zero_waiters <- [];
+      List.iter (fun k -> k ()) ws
+    end
+  in
+  let perform_fence p =
+    (* proceed only when everything previously issued is globally
+       performed *)
+    let ctx = ctxs.(p) in
+    let t0 = Wo_sim.Engine.now engine in
+    on_gp_zero ctx (fun () ->
+        stall p Wo_obs.Stall.Counter_drain (Wo_sim.Engine.now engine - t0);
+        Driver.resume env p ~store:None ~delay:1)
+  in
+  let perform p (op : Proc_frontend.memory_op) =
+    let ctx = ctxs.(p) in
+    let sync = is_sync_kind op.Proc_frontend.kind in
+    let issue () =
+      let r = Driver.new_op env ~proc:p op in
+      ctx.gp_outstanding <- ctx.gp_outstanding + 1;
+      (* Decide when the processor proceeds past this operation. *)
+      let resume_on =
+        if sync && not config.policy.sync_as_data then
+          match config.policy.sync_wait with
+          | Sync_wait_gp -> `Gp
+          | Sync_wait_commit -> `Commit
+          | Sync_wait_none -> (
+            (* Even lawless hardware must wait for a value it needs. *)
             match op.Proc_frontend.payload with
-            | `Read | `Rmw _ -> `Commit (* a value is needed *)
-            | `Write _ -> `Issue
-        in
-        let resume_store () =
-          match (op.Proc_frontend.dest, r.rv) with
-          | Some reg, Some v -> Some (reg, v)
-          | _ -> None
-        in
-        let on_commit ~at value =
-          r.committed <- at;
-          r.rv <- value;
-          (match (op.Proc_frontend.payload, value) with
-          | `Rmw f, Some old -> r.wv <- Some (f old)
-          | _ -> ());
-          match resume_on with
-          | `Commit ->
-            let reason =
-              if sync && not config.policy.sync_as_data then
-                Wo_obs.Stall.Sync_commit
-              else Wo_obs.Stall.Read_miss
-            in
-            stall p reason (Wo_sim.Engine.now engine - r.issued);
-            Proc_frontend.resume (frontend ctx) ~store:(resume_store ()) ~delay:1
-          | `Gp | `Issue -> ()
-        in
-        let on_gp () =
-          r.performed <- Wo_sim.Engine.now engine;
-          decr_gp ctx;
-          match resume_on with
-          | `Gp ->
-            (* A Definition-1 synchronization wait has two phases: getting
-               the operation committed, then holding the processor until it
-               is globally performed — the release-side gating Definition 2
-               (and the Section-5.3 hardware) dispenses with.  A read's
-               commit time is when its value was bound, possibly before
-               this operation issued; only the wait actually spent inside
-               [issued, performed] is attributable. *)
-            let commit_point = max r.issued r.committed in
-            stall_at p Wo_obs.Stall.Sync_commit ~until:commit_point
-              (commit_point - r.issued);
-            stall_at p Wo_obs.Stall.Release_gate ~until:r.performed
-              (r.performed - commit_point);
-            Proc_frontend.resume (frontend ctx) ~store:(resume_store ()) ~delay:1
-          | `Commit | `Issue -> ()
-        in
-        Cache_ctrl.access (cache_of ctx) op.Proc_frontend.loc
-          (access_kind config.policy op)
-          { Cache_ctrl.on_commit; on_gp };
-        if resume_on = `Issue then
-          Proc_frontend.resume (frontend ctx) ~store:None ~delay:1
+            | `Read | `Rmw _ -> `Commit
+            | `Write _ -> `Issue)
+        else
+          match op.Proc_frontend.payload with
+          | `Read | `Rmw _ -> `Commit (* a value is needed *)
+          | `Write _ -> `Issue
       in
-      let gated =
-        match config.policy.gate with
-        | Gate_every_op -> true
-        | Gate_sync_only -> sync && not config.policy.sync_as_data
-        | Gate_never -> false
+      let resume_store () =
+        match (op.Proc_frontend.dest, r.Memsys.rv) with
+        | Some reg, Some v -> Some (reg, v)
+        | _ -> None
       in
-      let issue_gated () =
-        if gated && ctx.gp_outstanding > 0 then begin
-          let t0 = Wo_sim.Engine.now engine in
-          (* Waiting for earlier accesses to perform before ISSUING: for a
-             synchronization operation this is release gating (Definition
-             1, conditions 2/3); for a data operation it is plain
-             counter-drain ordering (the SC baseline). *)
+      let on_commit ~at value =
+        r.Memsys.committed <- at;
+        r.Memsys.rv <- value;
+        (match (op.Proc_frontend.payload, value) with
+        | `Rmw f, Some old -> r.Memsys.wv <- Some (f old)
+        | _ -> ());
+        match resume_on with
+        | `Commit ->
           let reason =
             if sync && not config.policy.sync_as_data then
-              Wo_obs.Stall.Release_gate
-            else Wo_obs.Stall.Counter_drain
+              Wo_obs.Stall.Sync_commit
+            else Wo_obs.Stall.Read_miss
           in
-          on_gp_zero ctx (fun () ->
-              stall p reason (Wo_sim.Engine.now engine - t0);
-              issue ())
-        end
-        else issue ()
+          stall p reason (Wo_sim.Engine.now engine - r.Memsys.issued);
+          Driver.resume env p ~store:(resume_store ()) ~delay:1
+        | `Gp | `Issue -> ()
       in
-      match
-        List.find_opt
-          (fun (mg : migration) ->
-            mg.thread = p && mg.before_seq = op.Proc_frontend.seq)
-          config.migrations
-      with
-      | None -> issue_gated ()
-      | Some mg ->
-        (* Re-scheduling (5.1): "before a context switch, all previous
-           reads of the process have returned their values and all
-           previous writes have been globally performed"; footnote 3 also
-           stalls the vacated processor until its counter reads zero. *)
-        let switch () =
-          Wo_sim.Stats.incr stats "machine.migrations";
-          ctx.cache_id <- mg.to_cache;
-          issue_gated ()
-        in
-        if mg.unsafe then switch ()
-        else begin
-          let t0 = Wo_sim.Engine.now engine in
-          on_gp_zero ctx (fun () ->
-              Cache_ctrl.on_counter_zero (cache_of ctx) (fun () ->
-                  stall p Wo_obs.Stall.Migration (Wo_sim.Engine.now engine - t0);
-                  switch ()))
-        end
+      let on_gp () =
+        r.Memsys.performed <- Wo_sim.Engine.now engine;
+        decr_gp ctx;
+        match resume_on with
+        | `Gp ->
+          (* A Definition-1 synchronization wait has two phases: getting
+             the operation committed, then holding the processor until it
+             is globally performed — the release-side gating Definition 2
+             (and the Section-5.3 hardware) dispenses with.  A read's
+             commit time is when its value was bound, possibly before
+             this operation issued; only the wait actually spent inside
+             [issued, performed] is attributable. *)
+          let commit_point = max r.Memsys.issued r.Memsys.committed in
+          stall_at p Wo_obs.Stall.Sync_commit ~until:commit_point
+            (commit_point - r.Memsys.issued);
+          stall_at p Wo_obs.Stall.Release_gate ~until:r.Memsys.performed
+            (r.Memsys.performed - commit_point);
+          Driver.resume env p ~store:(resume_store ()) ~delay:1
+        | `Commit | `Issue -> ()
+      in
+      Cache_ctrl.access (cache_of ctx) op.Proc_frontend.loc
+        (access_kind config.policy op)
+        { Cache_ctrl.on_commit; on_gp };
+      if resume_on = `Issue then Driver.resume env p ~store:None ~delay:1
     in
-    Array.iteri
-      (fun p ctx ->
-        let fe =
-          Proc_frontend.create ~engine ~proc:p
-            ~code:program.Wo_prog.Program.threads.(p)
-            ~local_cost:config.local_cost
-            ~perform:(function
-              | Proc_frontend.Access op -> perform p op
-              | Proc_frontend.Fence -> perform_fence p)
-            ~on_finish:(fun () ->
-              ctx.finish_time <- Wo_sim.Engine.now engine)
-            ()
+    let gated =
+      match config.policy.gate with
+      | Gate_every_op -> true
+      | Gate_sync_only -> sync && not config.policy.sync_as_data
+      | Gate_never -> false
+    in
+    let issue_gated () =
+      if gated && ctx.gp_outstanding > 0 then begin
+        let t0 = Wo_sim.Engine.now engine in
+        (* Waiting for earlier accesses to perform before ISSUING: for a
+           synchronization operation this is release gating (Definition
+           1, conditions 2/3); for a data operation it is plain
+           counter-drain ordering (the SC baseline). *)
+        let reason =
+          if sync && not config.policy.sync_as_data then
+            Wo_obs.Stall.Release_gate
+          else Wo_obs.Stall.Counter_drain
         in
-        ctx.fe <- Some fe;
-        Proc_frontend.start fe)
-      ctxs;
-    (match Wo_sim.Engine.run engine with
-    | `Idle -> ()
-    | `Time_limit | `Event_limit ->
-      let positions =
-        Array.to_list ctxs
-        |> List.mapi (fun p ctx ->
-               Printf.sprintf "P%d[%s out=%d res=%s stalled=%s]" p
-                 (Proc_frontend.current_position (frontend ctx))
-                 (Cache_ctrl.outstanding caches.(ctx.cache_id))
-                 (String.concat ","
-                    (List.map string_of_int
-                       (Cache_ctrl.reserved_locs caches.(ctx.cache_id))))
-                 (String.concat ","
-                    (List.map
-                       (fun (l, n) -> Printf.sprintf "%d:%d" l n)
-                       (Cache_ctrl.stalled_recall_locs caches.(ctx.cache_id)))))
-        |> String.concat " "
+        on_gp_zero ctx (fun () ->
+            stall p reason (Wo_sim.Engine.now engine - t0);
+            issue ())
+      end
+      else issue ()
+    in
+    match
+      List.find_opt
+        (fun (mg : migration) ->
+          mg.thread = p && mg.before_seq = op.Proc_frontend.seq)
+        config.migrations
+    with
+    | None -> issue_gated ()
+    | Some mg ->
+      (* Re-scheduling (5.1): "before a context switch, all previous
+         reads of the process have returned their values and all
+         previous writes have been globally performed"; footnote 3 also
+         stalls the vacated processor until its counter reads zero. *)
+      let switch () =
+        Wo_sim.Stats.incr env.Driver.stats "machine.migrations";
+        ctx.cache_id <- mg.to_cache;
+        issue_gated ()
       in
-      let dir_busy =
-        Wo_cache.Directory.busy_lines directory
-        |> List.map string_of_int |> String.concat ","
-      in
-      raise
-        (Machine.Machine_error
-           (Printf.sprintf
-              "%s: simulation event limit exceeded (livelock?) at t=%d: %s dir_busy=[%s]"
-              name (Wo_sim.Engine.now engine) positions dir_busy)));
-    (* Drain check: everything must have finished. *)
-    Array.iteri
-      (fun p ctx ->
-        if not (Proc_frontend.finished (frontend ctx)) then begin
-          let dumps =
-            String.concat ""
-              (Array.to_list (Array.map Cache_ctrl.debug_dump caches))
-          in
-          raise
-            (Machine.Machine_error
-               (Printf.sprintf "%s: deadlock: P%d %s\n%s%s" name p
-                  (Proc_frontend.current_position (frontend ctx))
-                  dumps
-                  (Wo_cache.Directory.debug_dump directory)))
-        end;
-        ())
-      ctxs;
+      if mg.unsafe then switch ()
+      else begin
+        let t0 = Wo_sim.Engine.now engine in
+        on_gp_zero ctx (fun () ->
+            Cache_ctrl.on_counter_zero (cache_of ctx) (fun () ->
+                stall p Wo_obs.Stall.Migration (Wo_sim.Engine.now engine - t0);
+                switch ()))
+      end
+  in
+  let proc_status p =
+    let ctx = ctxs.(p) in
+    Printf.sprintf "out=%d res=%s stalled=%s"
+      (Cache_ctrl.outstanding caches.(ctx.cache_id))
+      (String.concat ","
+         (List.map string_of_int
+            (Cache_ctrl.reserved_locs caches.(ctx.cache_id))))
+      (String.concat ","
+         (List.map
+            (fun (l, n) -> Printf.sprintf "%d:%d" l n)
+            (Cache_ctrl.stalled_recall_locs caches.(ctx.cache_id))))
+  in
+  let shared_status () =
+    Printf.sprintf "dir_busy=[%s]"
+      (Wo_cache.Directory.busy_lines directory
+      |> List.map string_of_int |> String.concat ",")
+  in
+  let debug_dump () =
+    String.concat "" (Array.to_list (Array.map Cache_ctrl.debug_dump caches))
+    ^ Wo_cache.Directory.debug_dump directory
+  in
+  let check_drained () =
     Array.iteri
       (fun c cache ->
         if Cache_ctrl.pending_accesses cache <> 0 then
           raise
             (Machine.Machine_error
-               (Printf.sprintf "%s: cache %d has uncommitted accesses" name c)))
+               (Printf.sprintf "%s: cache %d has uncommitted accesses"
+                  env.Driver.name c)))
       caches;
-    (match Wo_cache.Directory.busy_lines directory with
+    match Wo_cache.Directory.busy_lines directory with
     | [] -> ()
     | locs ->
       raise
         (Machine.Machine_error
            (Printf.sprintf "%s: directory transactions stuck on %d line(s)"
-              name (List.length locs))));
-    (* Coherent final memory: the owner's copy for exclusive lines, the
-       directory's otherwise. *)
-    let final_value loc =
-      match Wo_cache.Directory.state_of directory loc with
-      | Wo_cache.Directory.Exclusive owner -> (
-        match Cache_ctrl.value_of caches.(owner) loc with
-        | Some v -> v
-        | None -> Wo_cache.Directory.memory_value directory loc)
-      | Wo_cache.Directory.Uncached | Wo_cache.Directory.Shared _ ->
-        Wo_cache.Directory.memory_value directory loc
-    in
-    let memory =
-      List.map (fun loc -> (loc, final_value loc)) (Wo_prog.Program.locs program)
-    in
-    let observable p r =
-      match program.Wo_prog.Program.observable with
-      | None -> true
-      | Some l -> List.mem (p, r) l
-    in
-    let registers =
-      Array.to_list ctxs
-      |> List.concat_map (fun ctx ->
-             let p = Proc_frontend.proc (frontend ctx) in
-             Proc_frontend.registers (frontend ctx)
-             |> List.filter (fun (r, _) -> observable p r)
-             |> List.map (fun (r, v) -> (p, r, v)))
-    in
-    let trace = Wo_sim.Trace.create () in
-    List.iter
-      (fun r ->
-        if r.committed < 0 || r.performed < 0 then begin
-          let dumps =
-            String.concat ""
-              (Array.to_list (Array.map Cache_ctrl.debug_dump caches))
-          in
-          raise
-            (Machine.Machine_error
-               (Printf.sprintf
-                  "%s: operation %d (P%d seq %d %s loc %d, committed=%d \
-                   performed=%d) never completed\n%s%s"
-                  name r.id r.oproc r.oseq
-                  (Format.asprintf "%a" Wo_core.Event.pp_kind r.okind)
-                  r.oloc r.committed r.performed dumps
-                  (Wo_cache.Directory.debug_dump directory)))
-        end;
-        if Wo_obs.Recorder.enabled obs then
-          Wo_obs.Recorder.span obs ~cat:Wo_obs.Recorder.Proc ~track:r.oproc
-            ~name:
-              (Format.asprintf "%a.%a" Wo_core.Event.pp_kind r.okind
-                 Wo_core.Event.pp_loc r.oloc)
-            ~ts:r.issued
-            ~dur:(max 0 (r.performed - r.issued));
-        Wo_sim.Trace.add trace
-          {
-            Wo_sim.Trace.event =
-              Wo_core.Event.make ~id:r.id ~proc:r.oproc ~seq:r.oseq
-                ~kind:r.okind ~loc:r.oloc ?read_value:r.rv
-                ?written_value:r.wv ();
-            issued = r.issued;
-            committed = r.committed;
-            performed = r.performed;
-          })
-      (List.rev !ops_rev);
-    {
-      Machine.outcome = Wo_prog.Outcome.make ~registers ~memory;
-      trace;
-      cycles = Wo_sim.Engine.now engine;
-      proc_finish = Array.map (fun ctx -> ctx.finish_time) ctxs;
-      stats =
-        Wo_sim.Stats.to_list stats
-        @ Wo_obs.Stall.to_stats stalls
-        @ Wo_obs.Tap.to_stats taps;
-      stalls;
-      taps;
-    }
+              env.Driver.name (List.length locs)))
   in
-  { Machine.name; description; sequentially_consistent; weakly_ordered_drf0; run }
+  (* Coherent final memory: the owner's copy for exclusive lines, the
+     directory's otherwise. *)
+  let final_value loc =
+    match Wo_cache.Directory.state_of directory loc with
+    | Wo_cache.Directory.Exclusive owner -> (
+      match Cache_ctrl.value_of caches.(owner) loc with
+      | Some v -> v
+      | None -> Wo_cache.Directory.memory_value directory loc)
+    | Wo_cache.Directory.Uncached | Wo_cache.Directory.Shared _ ->
+      Wo_cache.Directory.memory_value directory loc
+  in
+  {
+    Memsys.perform;
+    fence = perform_fence;
+    final_value;
+    proc_status;
+    shared_status;
+    debug_dump;
+    check_drained;
+  }
+
+let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
+    (config : config) : Machine.t =
+  Driver.make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
+    ~local_cost:config.local_cost ~build:(build config)

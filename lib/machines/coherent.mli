@@ -53,7 +53,7 @@ val def1_policy : policy
 val def2_policy : policy
 val relaxed_policy : policy
 
-type fabric_kind =
+type fabric_kind = Memsys.fabric_kind =
   | Bus of { transfer_cycles : int }
   | Net of { base : int; jitter : int }
   | Net_spiky of {
@@ -64,6 +64,11 @@ type fabric_kind =
     }
       (** heavy-tailed network: each message independently suffers a
           congestion spike multiplying its delay *)
+  | Net_fixed of { latency : int }
+      (** point-to-point network with one fixed delay: does not reorder
+          by itself but, unlike the bus, does not serialize *)
+(** Re-export of {!Memsys.fabric_kind} (the historical home of the
+    type) so existing constructors keep working. *)
 
 type migration = {
   thread : int;      (** which thread moves *)

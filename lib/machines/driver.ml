@@ -1,0 +1,204 @@
+type env = {
+  name : string;
+  engine : Wo_sim.Engine.t;
+  stats : Wo_sim.Stats.t;
+  stalls : Wo_obs.Stall.t;
+  taps : Wo_obs.Tap.t;
+  obs : Wo_obs.Recorder.t;
+  rng : Wo_sim.Rng.t;
+  program : Wo_prog.Program.t;
+  num_procs : int;
+  mutable frontends : Proc_frontend.t array;
+  mutable next_op_id : int;
+  mutable ops_rev : Memsys.op list;
+}
+
+let now env = Wo_sim.Engine.now env.engine
+
+let stall_at env ~proc reason ~until cycles =
+  Wo_obs.Stall.add env.stalls ~sink:env.obs ~now:until ~proc reason cycles
+
+let stall env ~proc reason cycles =
+  stall_at env ~proc reason ~until:(now env) cycles
+
+let resume env p ~store ~delay = Proc_frontend.resume env.frontends.(p) ~store ~delay
+
+let new_op env ~proc (op : Proc_frontend.memory_op) : Memsys.op =
+  let id = env.next_op_id in
+  env.next_op_id <- id + 1;
+  let r =
+    {
+      Memsys.id;
+      oproc = proc;
+      oseq = op.Proc_frontend.seq;
+      okind = op.Proc_frontend.kind;
+      oloc = op.Proc_frontend.loc;
+      rv = None;
+      wv =
+        (match op.Proc_frontend.payload with
+        | `Write v -> Some v
+        | `Read | `Rmw _ -> None);
+      issued = now env;
+      committed = -1;
+      performed = -1;
+    }
+  in
+  env.ops_rev <- r :: env.ops_rev;
+  r
+
+let fabric env ~tag ?(slow_procs = []) ?(slow_routes = []) kind =
+  let tap msg ~src:_ ~dst:_ ~latency =
+    Wo_obs.Tap.record env.taps ~name:(tag msg) ~latency
+  in
+  match kind with
+  | Memsys.Bus { transfer_cycles } ->
+    Wo_interconnect.Fabric.of_bus
+      (Wo_interconnect.Bus.create ~engine:env.engine ~stats:env.stats ~tap
+         ~transfer_cycles ())
+  | Memsys.Net _ | Memsys.Net_spiky _ | Memsys.Net_fixed _ ->
+    (* The network gets its own stream, split at fabric construction —
+       the split position is part of every machine's reproducibility
+       contract, so keep it here and nowhere else. *)
+    let net_rng = Wo_sim.Rng.split env.rng in
+    let latency =
+      Wo_interconnect.Latency.of_spec net_rng
+        (Option.get (Memsys.latency_spec kind))
+    in
+    let latency =
+      if slow_procs = [] then latency
+      else Wo_interconnect.Latency.scale_nodes slow_procs latency
+    in
+    let latency =
+      if slow_routes = [] then latency
+      else Wo_interconnect.Latency.scale_routes slow_routes latency
+    in
+    Wo_interconnect.Fabric.of_network
+      (Wo_interconnect.Network.create ~engine:env.engine ~stats:env.stats ~tap
+         ~latency ())
+
+(* Watchdog diagnostics: every machine reports the rich form — frontend
+   positions plus whatever protocol detail the port supplies. *)
+let watchdog_report env (port : Memsys.port) =
+  let positions =
+    Array.to_list env.frontends
+    |> List.mapi (fun p fe ->
+           let proto = port.Memsys.proc_status p in
+           Printf.sprintf "P%d[%s%s]" p
+             (Proc_frontend.current_position fe)
+             (if proto = "" then "" else " " ^ proto))
+    |> String.concat " "
+  in
+  let shared = port.Memsys.shared_status () in
+  Printf.sprintf
+    "%s: simulation event limit exceeded (livelock?) at t=%d: %s%s" env.name
+    (now env) positions
+    (if shared = "" then "" else " " ^ shared)
+
+let run ~name ~local_cost ~build ~seed (program : Wo_prog.Program.t) :
+    Machine.result =
+  let env =
+    {
+      name;
+      engine = Wo_sim.Engine.create ();
+      stats = Wo_sim.Stats.create ();
+      stalls = Wo_obs.Stall.create ();
+      taps = Wo_obs.Tap.create ();
+      obs = Wo_obs.Recorder.active ();
+      rng = Wo_sim.Rng.make seed;
+      program;
+      num_procs = Wo_prog.Program.num_procs program;
+      frontends = [||];
+      next_op_id = 0;
+      ops_rev = [];
+    }
+  in
+  let port = build env in
+  let finish_times = Array.make env.num_procs (-1) in
+  env.frontends <-
+    Array.init env.num_procs (fun p ->
+        Proc_frontend.create ~engine:env.engine ~proc:p
+          ~code:program.Wo_prog.Program.threads.(p)
+          ~local_cost
+          ~perform:(function
+            | Proc_frontend.Access op -> port.Memsys.perform p op
+            | Proc_frontend.Fence -> port.Memsys.fence p)
+          ~on_finish:(fun () -> finish_times.(p) <- now env)
+          ());
+  Array.iter Proc_frontend.start env.frontends;
+  (match Wo_sim.Engine.run env.engine with
+  | `Idle -> ()
+  | `Time_limit | `Event_limit ->
+    raise (Machine.Machine_error (watchdog_report env port)));
+  Array.iteri
+    (fun p fe ->
+      if not (Proc_frontend.finished fe) then
+        raise
+          (Machine.Machine_error
+             (Printf.sprintf "%s: deadlock: P%d %s\n%s" name p
+                (Proc_frontend.current_position fe)
+                (port.Memsys.debug_dump ()))))
+    env.frontends;
+  port.Memsys.check_drained ();
+  let memory =
+    List.map
+      (fun loc -> (loc, port.Memsys.final_value loc))
+      (Wo_prog.Program.locs program)
+  in
+  let observable p r =
+    match program.Wo_prog.Program.observable with
+    | None -> true
+    | Some l -> List.mem (p, r) l
+  in
+  let registers =
+    Array.to_list env.frontends
+    |> List.concat_map (fun fe ->
+           let p = Proc_frontend.proc fe in
+           Proc_frontend.registers fe
+           |> List.filter (fun (r, _) -> observable p r)
+           |> List.map (fun (r, v) -> (p, r, v)))
+  in
+  let trace = Wo_sim.Trace.create () in
+  List.iter
+    (fun (r : Memsys.op) ->
+      if r.committed < 0 || r.performed < 0 then
+        raise
+          (Machine.Machine_error
+             (Printf.sprintf
+                "%s: operation %d (P%d seq %d %s loc %d, committed=%d \
+                 performed=%d) never completed\n%s"
+                name r.id r.oproc r.oseq
+                (Format.asprintf "%a" Wo_core.Event.pp_kind r.okind)
+                r.oloc r.committed r.performed
+                (port.Memsys.debug_dump ())));
+      if Wo_obs.Recorder.enabled env.obs then
+        Wo_obs.Recorder.span env.obs ~cat:Wo_obs.Recorder.Proc ~track:r.oproc
+          ~name:
+            (Format.asprintf "%a.%a" Wo_core.Event.pp_kind r.okind
+               Wo_core.Event.pp_loc r.oloc)
+          ~ts:r.issued
+          ~dur:(max 0 (r.performed - r.issued));
+      Wo_sim.Trace.add trace
+        {
+          Wo_sim.Trace.event =
+            Wo_core.Event.make ~id:r.id ~proc:r.oproc ~seq:r.oseq ~kind:r.okind
+              ~loc:r.oloc ?read_value:r.rv ?written_value:r.wv ();
+          issued = r.issued;
+          committed = r.committed;
+          performed = r.performed;
+        })
+    (List.rev env.ops_rev);
+  Machine.make_result
+    ~outcome:(Wo_prog.Outcome.make ~registers ~memory)
+    ~trace ~cycles:(now env) ~proc_finish:finish_times
+    ~stats:(Wo_sim.Stats.to_list env.stats)
+    ~stalls:env.stalls ~taps:env.taps ()
+
+let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
+    ~local_cost ~build : Machine.t =
+  {
+    Machine.name;
+    description;
+    sequentially_consistent;
+    weakly_ordered_drf0;
+    run = (fun ~seed program -> run ~name ~local_cost ~build ~seed program);
+  }

@@ -1,0 +1,91 @@
+(** The shared machine driver.
+
+    Everything the simulated machines have in common lives here, once:
+    engine / statistics / stall-account / tap setup, fabric construction
+    (with the RNG-split discipline that makes runs reproducible),
+    processor-frontend wiring, the run loop, a unified livelock/deadlock
+    watchdog with rich per-processor diagnostics, operation lifecycle
+    bookkeeping and result assembly.  A memory system contributes only a
+    {!Memsys.port}; see {!Uncached} and {!Coherent} for the two shipped
+    protocols. *)
+
+type env = {
+  name : string;
+  engine : Wo_sim.Engine.t;
+  stats : Wo_sim.Stats.t;
+  stalls : Wo_obs.Stall.t;
+  taps : Wo_obs.Tap.t;
+  obs : Wo_obs.Recorder.t;
+  rng : Wo_sim.Rng.t;  (** seed stream; split it per component *)
+  program : Wo_prog.Program.t;
+  num_procs : int;
+  mutable frontends : Proc_frontend.t array;
+      (** filled by the driver after [build] returns; valid whenever the
+          engine is running *)
+  mutable next_op_id : int;
+  mutable ops_rev : Memsys.op list;
+}
+(** The per-run environment handed to a port builder. *)
+
+val now : env -> int
+
+val stall : env -> proc:int -> Wo_obs.Stall.reason -> int -> unit
+(** Attribute stall cycles ending now. *)
+
+val stall_at : env -> proc:int -> Wo_obs.Stall.reason -> until:int -> int -> unit
+(** Attribute stall cycles whose span ended at [until] (for waits whose
+    phases are only known after the fact). *)
+
+val resume :
+  env ->
+  int ->
+  store:(Wo_prog.Instr.reg * Wo_core.Event.value) option ->
+  delay:int ->
+  unit
+(** Resume processor [p]'s frontend. *)
+
+val new_op : env -> proc:int -> Proc_frontend.memory_op -> Memsys.op
+(** Record the issue of one memory operation: assigns the id, stamps
+    [issued] with the current time, pre-fills [wv] for writes and
+    appends the record to the run's operation list. *)
+
+val fabric :
+  env ->
+  tag:('msg -> string) ->
+  ?slow_procs:(int * int) list ->
+  ?slow_routes:((int * int) * int) list ->
+  Memsys.fabric_kind ->
+  'msg Wo_interconnect.Fabric.t
+(** Build the interconnect: a bus, or a network whose latency model is
+    interpreted from the fabric kind with a dedicated RNG stream split
+    from [env.rng] (the split happens exactly once, here, so every
+    machine draws network jitter identically).  [slow_procs] /
+    [slow_routes] wrap the model with node / route multipliers
+    ({!Wo_interconnect.Latency.scale_nodes} / [scale_routes]); they are
+    ignored by the bus, as before.  Every delivered message is recorded
+    in [env.taps] under [tag msg]. *)
+
+val run :
+  name:string ->
+  local_cost:int ->
+  build:(env -> Memsys.port) ->
+  seed:int ->
+  Wo_prog.Program.t ->
+  Machine.result
+(** One simulation: build the environment, let [build] assemble the
+    memory system, wire and start one frontend per thread, run the
+    engine to quiescence, then check drains and assemble the result.
+    Raises {!Machine.Machine_error} with the unified rich diagnostics —
+    per-processor frontend positions plus the port's protocol detail —
+    on livelock (event limit), deadlock (unfinished frontend), leftover
+    protocol state or an operation that never completed. *)
+
+val make :
+  name:string ->
+  description:string ->
+  sequentially_consistent:bool ->
+  weakly_ordered_drf0:bool ->
+  local_cost:int ->
+  build:(env -> Memsys.port) ->
+  Machine.t
+(** Package {!run} as a {!Machine.t}. *)

@@ -8,15 +8,14 @@ let run ~seed program =
         { Wo_sim.Trace.event = ev; issued = i; committed = i; performed = i })
     (Wo_core.Execution.events exn);
   let n = Wo_prog.Program.num_procs program in
-  {
-    Machine.outcome = Wo_prog.Interp.outcome state;
-    trace;
-    cycles = Wo_sim.Trace.size trace;
-    proc_finish = Array.make n (Wo_sim.Trace.size trace);
-    stats = [];
-    stalls = Wo_obs.Stall.create ();
-    taps = Wo_obs.Tap.create ();
-  }
+  Machine.make_result
+    ~outcome:(Wo_prog.Interp.outcome state)
+    ~trace
+    ~cycles:(Wo_sim.Trace.size trace)
+    ~proc_finish:(Array.make n (Wo_sim.Trace.size trace))
+    ~stalls:(Wo_obs.Stall.create ())
+    ~taps:(Wo_obs.Tap.create ())
+    ()
 
 let machine =
   {

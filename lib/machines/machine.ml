@@ -20,6 +20,20 @@ type t = {
 
 let run t ?(seed = 0) program = t.run ~seed program
 
+(* The one place the legacy [P<i>.stall.<reason>] stats view is derived
+   from the typed accounts; machines pass only their own counters. *)
+let make_result ~outcome ~trace ~cycles ~proc_finish ?(stats = []) ~stalls
+    ~taps () =
+  {
+    outcome;
+    trace;
+    cycles;
+    proc_finish;
+    stats = stats @ Wo_obs.Stall.to_stats stalls @ Wo_obs.Tap.to_stats taps;
+    stalls;
+    taps;
+  }
+
 let check_lemma1 ?init r =
   Wo_core.Lemma1.check ?init
     ~events:(Wo_sim.Trace.events r.trace)

@@ -45,6 +45,22 @@ type t = {
 val run : t -> ?seed:int -> Wo_prog.Program.t -> result
 (** [seed] defaults to 0. *)
 
+val make_result :
+  outcome:Wo_prog.Outcome.t ->
+  trace:Wo_sim.Trace.t ->
+  cycles:int ->
+  proc_finish:int array ->
+  ?stats:(string * int) list ->
+  stalls:Wo_obs.Stall.t ->
+  taps:Wo_obs.Tap.t ->
+  unit ->
+  result
+(** The single place {!result.stats} is assembled: [stats] (a machine's
+    own counters, default empty) followed by the legacy
+    [P<i>.stall.<reason>] view derived from [stalls] and the [msg.*]
+    counters derived from [taps].  Every machine builds its result here
+    so the derivation is not duplicated per driver. *)
+
 val check_lemma1 :
   ?init:(Wo_core.Event.loc -> Wo_core.Event.value) ->
   result ->

@@ -1,0 +1,43 @@
+type fabric_kind =
+  | Bus of { transfer_cycles : int }
+  | Net of { base : int; jitter : int }
+  | Net_spiky of {
+      base : int;
+      jitter : int;
+      spike_probability : float;
+      spike_factor : int;
+    }
+  | Net_fixed of { latency : int }
+
+let latency_spec = function
+  | Bus _ -> None
+  | Net { base; jitter } ->
+    Some (Wo_interconnect.Latency.Jittered { base; jitter })
+  | Net_spiky { base; jitter; spike_probability; spike_factor } ->
+    Some
+      (Wo_interconnect.Latency.Spiky
+         { base; jitter; spike_probability; spike_factor })
+  | Net_fixed { latency } -> Some (Wo_interconnect.Latency.Fixed latency)
+
+type op = {
+  id : int;
+  oproc : int;
+  oseq : int;
+  okind : Wo_core.Event.kind;
+  oloc : Wo_core.Event.loc;
+  mutable rv : Wo_core.Event.value option;
+  mutable wv : Wo_core.Event.value option;
+  mutable issued : int;
+  mutable committed : int;
+  mutable performed : int;
+}
+
+type port = {
+  perform : int -> Proc_frontend.memory_op -> unit;
+  fence : int -> unit;
+  final_value : Wo_core.Event.loc -> Wo_core.Event.value;
+  proc_status : int -> string;
+  shared_status : unit -> string;
+  debug_dump : unit -> string;
+  check_drained : unit -> unit;
+}

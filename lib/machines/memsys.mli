@@ -1,0 +1,78 @@
+(** The memory-system port.
+
+    A machine is a {!Proc_frontend} per thread wired to one memory
+    system.  This module fixes the boundary between the two halves:
+
+    - the shared {!Driver} owns everything machine-generic — engine,
+      fabric, frontends, the run loop, the livelock/deadlock watchdog,
+      operation bookkeeping and result assembly;
+    - a memory system (the uncached module/write-buffer machine, the
+      cache-coherent directory machine, or anything new) supplies only a
+      {!port}: how to perform an access, how to fence, how to read final
+      memory, and how to describe itself when something goes wrong.
+
+    The split is what makes machines cheap data ({!Spec}): a machine
+    description picks a port builder and its knobs instead of re-wiring
+    a driver by hand. *)
+
+type fabric_kind =
+  | Bus of { transfer_cycles : int }
+      (** serializing split-transaction bus *)
+  | Net of { base : int; jitter : int }
+      (** general network, uniform jitter — the reordering fabric of
+          Figure 1, configurations 2 and 4 *)
+  | Net_spiky of {
+      base : int;
+      jitter : int;
+      spike_probability : float;
+      spike_factor : int;
+    }  (** heavy-tailed network: per-message congestion spikes *)
+  | Net_fixed of { latency : int }
+      (** point-to-point network with one fixed delay: reorders nothing
+          by itself but, unlike the bus, does not serialize *)
+
+val latency_spec : fabric_kind -> Wo_interconnect.Latency.spec option
+(** The latency model of a network fabric; [None] for the bus. *)
+
+type op = {
+  id : int;
+  oproc : int;
+  oseq : int;
+  okind : Wo_core.Event.kind;
+  oloc : Wo_core.Event.loc;
+  mutable rv : Wo_core.Event.value option;
+  mutable wv : Wo_core.Event.value option;
+  mutable issued : int;
+  mutable committed : int;
+  mutable performed : int;
+}
+(** One dynamic memory operation's lifecycle record, shared by every
+    memory system: the driver creates it at issue ({!Driver.new_op}),
+    the memory system fills [rv]/[wv]/[committed]/[performed], and the
+    driver turns the completed records into the {!Wo_sim.Trace}. *)
+
+type port = {
+  perform : int -> Proc_frontend.memory_op -> unit;
+      (** Perform one access for processor [p]; must eventually resume
+          the frontend ({!Driver.resume}). *)
+  fence : int -> unit;
+      (** Hold processor [p] until everything it previously issued is
+          globally performed, then resume it. *)
+  final_value : Wo_core.Event.loc -> Wo_core.Event.value;
+      (** Final memory after the engine drained (the owner's copy for
+          exclusive cache lines, memory otherwise). *)
+  proc_status : int -> string;
+      (** Per-processor protocol detail for watchdog diagnostics, e.g.
+          outstanding counters and reserved lines; [""] if nothing to
+          say. *)
+  shared_status : unit -> string;
+      (** Shared-component detail for watchdog diagnostics (busy
+          directory lines, module queues); [""] if nothing to say. *)
+  debug_dump : unit -> string;
+      (** Full state dump appended to deadlock / lost-operation
+          errors. *)
+  check_drained : unit -> unit;
+      (** Raise {!Machine.Machine_error} if protocol state survived the
+          drain (uncommitted accesses, stuck directory transactions,
+          undrained write buffers). *)
+}

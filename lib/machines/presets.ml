@@ -3,198 +3,232 @@ let default_net = Coherent.default_net
 
 (* --- uncached machines (Figure 1, configurations 1 and 2) ----------------- *)
 
-let sc_bus_nocache =
-  Uncached.make ~name:"sc-bus-nocache"
-    ~description:
+let sc_bus_nocache_spec =
+  {
+    Spec.name = "sc-bus-nocache";
+    description =
       "Shared bus, no caches, no write buffer; writes wait for their \
-       acknowledgement.  Sequentially consistent."
-    ~sequentially_consistent:true ~weakly_ordered_drf0:true
-    {
-      Uncached.fabric = default_bus;
-      write_buffer = None;
-      wait_write_ack = true;
-      flush_buffer_on_sync = true;
-      modules = 1;
-      local_cost = 1;
-    }
+       acknowledgement.  Sequentially consistent.";
+    fabric = default_bus;
+    memory = Spec.Uncached { write_buffer = None; wait_write_ack = true; modules = 1 };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
 
-let bus_nocache_wb =
-  Uncached.make ~name:"bus-nocache-wb"
-    ~description:
+let bus_nocache_wb_spec =
+  {
+    Spec.name = "bus-nocache-wb";
+    description =
       "Shared bus, no caches, FIFO write buffer with read bypass and \
        store-to-load forwarding (Figure 1, configuration 1).  \
        Synchronization drains the buffer, so the machine is weakly ordered \
-       w.r.t. DRF0 but not sequentially consistent."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:true
-    {
-      Uncached.fabric = default_bus;
-      write_buffer =
-        Some
-          {
-            Uncached.depth = 8;
-            read_bypass = true;
-            forwarding = true;
-            drain_delay = 6;
-          };
-      wait_write_ack = false;
-      flush_buffer_on_sync = true;
-      modules = 1;
-      local_cost = 1;
-    }
+       w.r.t. DRF0 but not sequentially consistent.";
+    fabric = default_bus;
+    memory =
+      Spec.Uncached
+        {
+          write_buffer =
+            Some
+              {
+                Uncached.depth = 8;
+                read_bypass = true;
+                forwarding = true;
+                drain_delay = 6;
+              };
+          wait_write_ack = false;
+          modules = 1;
+        };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
 
-let net_nocache_weak =
-  Uncached.make ~name:"net-nocache"
-    ~description:
+let net_nocache_weak_spec =
+  {
+    Spec.name = "net-nocache";
+    description =
       "General interconnection network, no caches, fire-and-forget writes: \
        accesses issued in program order reach the memory modules out of \
        order (Figure 1, configuration 2).  Not weakly ordered: \
-       synchronization does not wait for outstanding writes."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:false
-    {
-      Uncached.fabric = default_net;
-      write_buffer = None;
-      wait_write_ack = false;
-      flush_buffer_on_sync = false;
-      modules = 4;
-      local_cost = 1;
-    }
+       synchronization does not wait for outstanding writes.";
+    fabric = default_net;
+    memory =
+      Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 4 };
+    sync = Spec.Sync_none;
+    local_cost = 1;
+  }
 
-let net_nocache_rp3 =
-  Uncached.make ~name:"net-nocache-rp3"
-    ~description:
+let net_nocache_rp3_spec =
+  {
+    Spec.name = "net-nocache-rp3";
+    description =
       "General network, no caches; every access waits for its \
        acknowledgement before the next is issued (the RP3 discipline for \
-       shared variables).  Sequentially consistent."
-    ~sequentially_consistent:true ~weakly_ordered_drf0:true
-    {
-      Uncached.fabric = default_net;
-      write_buffer = None;
-      wait_write_ack = true;
-      flush_buffer_on_sync = true;
-      modules = 4;
-      local_cost = 1;
-    }
+       shared variables).  Sequentially consistent.";
+    fabric = default_net;
+    memory =
+      Spec.Uncached { write_buffer = None; wait_write_ack = true; modules = 4 };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
 
-let rp3_fence =
-  Uncached.make ~name:"rp3-fence"
-    ~description:
+let rp3_fence_spec =
+  {
+    Spec.name = "rp3-fence";
+    description =
       "General network, no caches, fire-and-forget writes, but \
        synchronization waits for all outstanding acknowledgements (the \
        RP3 fence option the paper cites as functioning as a weakly \
-       ordered system)."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:true
-    {
-      Uncached.fabric = default_net;
-      write_buffer = None;
-      wait_write_ack = false;
-      flush_buffer_on_sync = true;
-      modules = 4;
-      local_cost = 1;
-    }
+       ordered system).";
+    fabric = default_net;
+    memory =
+      Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 4 };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
 
 (* --- cached machines (Figure 1 configurations 3-4; Sections 5-6) ---------- *)
 
-let base_coherent fabric policy cache =
+let sc_dir_spec =
   {
-    Coherent.fabric;
-    policy;
-    cache;
-    slow_procs = [];
-    slow_routes = [];
-    local_cost = 1;
-    migrations = [];
-  }
-
-let sc_dir_config =
-  base_coherent default_net Coherent.sc_policy Wo_cache.Cache_ctrl.default_config
-
-let sc_dir =
-  Coherent.make ~name:"sc-dir"
-    ~description:
+    Spec.name = "sc-dir";
+    description =
       "Directory-based cache-coherent system where a processor issues an \
        access only after all its previous accesses are globally performed \
        (the Scheurich-Dubois sufficient condition).  Sequentially \
-       consistent."
-    ~sequentially_consistent:true ~weakly_ordered_drf0:true sc_dir_config
+       consistent.";
+    fabric = default_net;
+    memory = Spec.default_cached;
+    sync = Spec.Sync_sc;
+    local_cost = 1;
+  }
 
-let bus_cache_config =
-  base_coherent default_bus Coherent.relaxed_policy Wo_cache.Cache_ctrl.default_config
-
-let bus_cache_wb =
-  Coherent.make ~name:"bus-cache"
-    ~description:
+let bus_cache_spec =
+  {
+    Spec.name = "bus-cache";
+    description =
       "Bus-based cache-coherent system where reads may issue while a \
        previous write's invalidations are outstanding (Figure 1, \
-       configuration 3).  Coherent but not sequentially consistent."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:false bus_cache_config
+       configuration 3).  Coherent but not sequentially consistent.";
+    fabric = default_bus;
+    memory = Spec.default_cached;
+    sync = Spec.Sync_none;
+    local_cost = 1;
+  }
 
-let net_cache_config =
-  base_coherent default_net Coherent.relaxed_policy Wo_cache.Cache_ctrl.default_config
-
-let net_cache_relaxed =
-  Coherent.make ~name:"net-cache"
-    ~description:
+let net_cache_spec =
+  {
+    Spec.name = "net-cache";
+    description =
       "Directory cache-coherent system over a general network with no \
        ordering discipline at all: accesses issue and reach the directory \
        in program order but do not complete in program order (Figure 1, \
-       configuration 4)."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:false net_cache_config
+       configuration 4).";
+    fabric = default_net;
+    memory = Spec.default_cached;
+    sync = Spec.Sync_none;
+    local_cost = 1;
+  }
 
-let wo_old_config =
+let wo_old_spec =
   (* Definition-1 hardware may serve read-only synchronization from shared
      copies (Test-and-TestAndSet spinning was the recommended idiom for such
      machines); its correctness comes from the processor-side gp gates, not
      from serializing synchronization reads.  Only the Section-5.3
      implementation must treat all synchronization as writes, which is
      exactly the Section-6 comparison this repository reproduces. *)
-  base_coherent default_net Coherent.def1_policy
-    { Wo_cache.Cache_ctrl.default_config with sync_read_shared = true }
-
-let wo_old =
-  Coherent.make ~name:"wo-old"
-    ~description:
+  {
+    Spec.name = "wo-old";
+    description =
       "Definition-1 (Dubois/Scheurich/Briggs) weakly ordered hardware: a \
        processor stalls at a synchronization operation until all its \
        previous accesses are globally performed, and stalls after it until \
-       the synchronization is globally performed."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:true wo_old_config
-
-let wo_new_config =
-  {
-    (base_coherent default_net Coherent.def2_policy
-       { Wo_cache.Cache_ctrl.default_config with reserve_enabled = true })
-    with
+       the synchronization is globally performed.";
+    fabric = default_net;
+    memory = Spec.default_cached;
+    sync = Spec.Sync_def1_stall;
     local_cost = 1;
   }
 
-let wo_new =
-  Coherent.make ~name:"wo-new"
-    ~description:
+let wo_new_spec =
+  {
+    Spec.name = "wo-new";
+    description =
       "The paper's Section-5.3 implementation: the processor waits only \
        for its synchronization operation to commit; the outstanding-access \
        counter and per-line reserve bits stall the next processor that \
        synchronizes on the same location instead.  Violates conditions 2 \
-       and 3 of Definition 1, weakly ordered w.r.t. DRF0 by Definition 2."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:true wo_new_config
-
-let wo_new_drf1_config =
-  {
-    wo_new_config with
-    Coherent.cache =
-      {
-        Wo_cache.Cache_ctrl.default_config with
-        reserve_enabled = true;
-        sync_read_shared = true;
-      };
+       and 3 of Definition 1, weakly ordered w.r.t. DRF0 by Definition 2.";
+    fabric = default_net;
+    memory = Spec.default_cached;
+    sync = Spec.Sync_reserve_bit;
+    local_cost = 1;
   }
 
-let wo_new_drf1 =
-  Coherent.make ~name:"wo-new-drf1"
-    ~description:
+let wo_new_drf1_spec =
+  {
+    Spec.name = "wo-new-drf1";
+    description =
       "The Section-6 refinement of the Section-5.3 implementation: \
        read-only synchronization operations take shared copies and set no \
-       reserve bit, so Test-and-TestAndSet spinning is not serialized."
-    ~sequentially_consistent:false ~weakly_ordered_drf0:true wo_new_drf1_config
+       reserve bit, so Test-and-TestAndSet spinning is not serialized.";
+    fabric = default_net;
+    memory = Spec.default_cached;
+    sync = Spec.Sync_drf1_two_level;
+    local_cost = 1;
+  }
+
+let ideal_spec =
+  {
+    Spec.name = "ideal";
+    description = Ideal.machine.Machine.description;
+    fabric = default_bus;
+    memory = Spec.Ideal;
+    sync = Spec.Sync_sc;
+    local_cost = 1;
+  }
+
+let specs =
+  [
+    ideal_spec;
+    sc_bus_nocache_spec;
+    bus_nocache_wb_spec;
+    net_nocache_weak_spec;
+    net_nocache_rp3_spec;
+    rp3_fence_spec;
+    sc_dir_spec;
+    bus_cache_spec;
+    net_cache_spec;
+    wo_old_spec;
+    wo_new_spec;
+    wo_new_drf1_spec;
+  ]
+
+let spec_of name = List.find_opt (fun (s : Spec.t) -> s.Spec.name = name) specs
+
+(* --- the machines, all built from their specs ------------------------------ *)
+
+let ideal = Spec.build ideal_spec
+let sc_bus_nocache = Spec.build sc_bus_nocache_spec
+let bus_nocache_wb = Spec.build bus_nocache_wb_spec
+let net_nocache_weak = Spec.build net_nocache_weak_spec
+let net_nocache_rp3 = Spec.build net_nocache_rp3_spec
+let rp3_fence = Spec.build rp3_fence_spec
+let sc_dir = Spec.build sc_dir_spec
+let bus_cache_wb = Spec.build bus_cache_spec
+let net_cache_relaxed = Spec.build net_cache_spec
+let wo_old = Spec.build wo_old_spec
+let wo_new = Spec.build wo_new_spec
+let wo_new_drf1 = Spec.build wo_new_drf1_spec
+
+(* The driver configs the cached specs denote, for experiments that vary
+   parameters (e.g. Figure 3's slow invalidations) and rebuild with
+   {!Coherent.make}. *)
+let sc_dir_config = Spec.cached_config sc_dir_spec
+let bus_cache_config = Spec.cached_config bus_cache_spec
+let net_cache_config = Spec.cached_config net_cache_spec
+let wo_old_config = Spec.cached_config wo_old_spec
+let wo_new_config = Spec.cached_config wo_new_spec
+let wo_new_drf1_config = Spec.cached_config wo_new_drf1_spec
 
 let wo_new_ablated ?(disable_reserve = false) ?(disable_sync_commit_wait = false)
     () =
@@ -220,8 +254,6 @@ let wo_new_ablated ?(disable_reserve = false) ?(disable_sync_commit_wait = false
     ~sequentially_consistent:false
     ~weakly_ordered_drf0:(not (disable_reserve || disable_sync_commit_wait))
     { wo_new_config with policy; cache }
-
-let ideal = Ideal.machine
 
 let all =
   [

@@ -31,6 +31,26 @@ val wo_new : Machine.t
 val wo_new_drf1 : Machine.t
 val ideal : Machine.t
 
+val specs : Spec.t list
+(** One spec per preset, idealized machine first; [all] is exactly
+    [List.map Spec.build specs]. *)
+
+val spec_of : string -> Spec.t option
+(** Look up a preset's spec by machine name. *)
+
+val ideal_spec : Spec.t
+val sc_bus_nocache_spec : Spec.t
+val bus_nocache_wb_spec : Spec.t
+val net_nocache_weak_spec : Spec.t
+val net_nocache_rp3_spec : Spec.t
+val rp3_fence_spec : Spec.t
+val sc_dir_spec : Spec.t
+val bus_cache_spec : Spec.t
+val net_cache_spec : Spec.t
+val wo_old_spec : Spec.t
+val wo_new_spec : Spec.t
+val wo_new_drf1_spec : Spec.t
+
 val sc_dir_config : Coherent.config
 val bus_cache_config : Coherent.config
 val net_cache_config : Coherent.config

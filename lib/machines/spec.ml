@@ -1,0 +1,369 @@
+module Json = Wo_obs.Json
+
+type sync_policy =
+  | Sync_none
+  | Sync_sc
+  | Sync_fence
+  | Sync_def1_stall
+  | Sync_reserve_bit
+  | Sync_drf1_two_level
+
+type memory =
+  | Ideal
+  | Uncached of {
+      write_buffer : Uncached.buffer_config option;
+      wait_write_ack : bool;
+      modules : int;
+    }
+  | Cached of { hit_cycles : int; capacity : int option; coarse_counter : bool }
+
+type t = {
+  name : string;
+  description : string;
+  fabric : Memsys.fabric_kind;
+  memory : memory;
+  sync : sync_policy;
+  local_cost : int;
+}
+
+let default_cached =
+  Cached
+    {
+      hit_cycles = Wo_cache.Cache_ctrl.default_config.Wo_cache.Cache_ctrl.hit_cycles;
+      capacity = None;
+      coarse_counter = false;
+    }
+
+(* Consistency classification follows from the knobs, so JSON machines
+   cannot mislabel themselves. *)
+let flags (s : t) =
+  match s.memory with
+  | Ideal -> (true, true)
+  | Uncached u ->
+    let wo = s.sync <> Sync_none in
+    (u.wait_write_ack && u.write_buffer = None && wo, wo)
+  | Cached _ -> (
+    match s.sync with
+    | Sync_none -> (false, false)
+    | Sync_sc -> (true, true)
+    | Sync_fence | Sync_def1_stall | Sync_reserve_bit | Sync_drf1_two_level ->
+      (false, true))
+
+let sequentially_consistent s = fst (flags s)
+let weakly_ordered_drf0 s = snd (flags s)
+
+let uncached_config (s : t) : Uncached.config =
+  match s.memory with
+  | Uncached { write_buffer; wait_write_ack; modules } ->
+    {
+      Uncached.fabric = s.fabric;
+      write_buffer;
+      wait_write_ack;
+      (* Any enforcement on an uncached machine is fence-flavoured:
+         synchronization drains the buffer and waits for every
+         outstanding acknowledgement. *)
+      flush_buffer_on_sync = s.sync <> Sync_none;
+      modules;
+      local_cost = s.local_cost;
+    }
+  | Ideal | Cached _ ->
+    invalid_arg (Printf.sprintf "Spec.uncached_config: %s is not uncached" s.name)
+
+let cached_policy = function
+  | Sync_none -> Coherent.relaxed_policy
+  | Sync_sc -> Coherent.sc_policy
+  | Sync_def1_stall -> Coherent.def1_policy
+  | Sync_reserve_bit | Sync_drf1_two_level -> Coherent.def2_policy
+  | Sync_fence ->
+    (* Fence on a cached machine: only synchronization operations gate on
+       the outstanding-access counter, and the processor resumes once the
+       synchronization commits.  None of the presets uses it — it is the
+       spec layer's own point in the design space. *)
+    {
+      Coherent.pname = "fence";
+      sync_as_data = false;
+      gate = Coherent.Gate_sync_only;
+      sync_wait = Coherent.Sync_wait_commit;
+    }
+
+let cached_config (s : t) : Coherent.config =
+  match s.memory with
+  | Cached { hit_cycles; capacity; coarse_counter } ->
+    {
+      Coherent.fabric = s.fabric;
+      policy = cached_policy s.sync;
+      cache =
+        {
+          Wo_cache.Cache_ctrl.hit_cycles;
+          reserve_enabled =
+            (match s.sync with
+            | Sync_reserve_bit | Sync_drf1_two_level -> true
+            | _ -> false);
+          sync_read_shared =
+            (match s.sync with
+            | Sync_def1_stall | Sync_drf1_two_level -> true
+            | _ -> false);
+          capacity;
+          coarse_counter;
+        };
+      slow_procs = [];
+      slow_routes = [];
+      local_cost = s.local_cost;
+      migrations = [];
+    }
+  | Ideal | Uncached _ ->
+    invalid_arg (Printf.sprintf "Spec.cached_config: %s is not cached" s.name)
+
+let build (s : t) : Machine.t =
+  let sequentially_consistent, weakly_ordered_drf0 = flags s in
+  match s.memory with
+  | Ideal ->
+    { Ideal.machine with Machine.name = s.name; description = s.description }
+  | Uncached _ ->
+    Uncached.make ~name:s.name ~description:s.description
+      ~sequentially_consistent ~weakly_ordered_drf0 (uncached_config s)
+  | Cached _ ->
+    Coherent.make ~name:s.name ~description:s.description
+      ~sequentially_consistent ~weakly_ordered_drf0 (cached_config s)
+
+(* --- names ----------------------------------------------------------------- *)
+
+let sync_to_string = function
+  | Sync_none -> "none"
+  | Sync_sc -> "sc"
+  | Sync_fence -> "fence"
+  | Sync_def1_stall -> "def1-stall"
+  | Sync_reserve_bit -> "reserve-bit"
+  | Sync_drf1_two_level -> "drf1-two-level"
+
+let sync_of_string = function
+  | "none" -> Some Sync_none
+  | "sc" -> Some Sync_sc
+  | "fence" -> Some Sync_fence
+  | "def1-stall" -> Some Sync_def1_stall
+  | "reserve-bit" -> Some Sync_reserve_bit
+  | "drf1-two-level" -> Some Sync_drf1_two_level
+  | _ -> None
+
+let fabric_slug = function
+  | Memsys.Bus { transfer_cycles } -> Printf.sprintf "bus%d" transfer_cycles
+  | Memsys.Net { base; jitter } -> Printf.sprintf "net%dj%d" base jitter
+  | Memsys.Net_spiky { base; jitter; _ } ->
+    Printf.sprintf "spiky%dj%d" base jitter
+  | Memsys.Net_fixed { latency } -> Printf.sprintf "fix%d" latency
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let fabric_to_json = function
+  | Memsys.Bus { transfer_cycles } ->
+    Json.Obj [ ("kind", Json.String "bus"); ("transfer_cycles", Json.Int transfer_cycles) ]
+  | Memsys.Net { base; jitter } ->
+    Json.Obj
+      [ ("kind", Json.String "net"); ("base", Json.Int base); ("jitter", Json.Int jitter) ]
+  | Memsys.Net_spiky { base; jitter; spike_probability; spike_factor } ->
+    Json.Obj
+      [
+        ("kind", Json.String "net-spiky");
+        ("base", Json.Int base);
+        ("jitter", Json.Int jitter);
+        ("spike_probability", Json.Float spike_probability);
+        ("spike_factor", Json.Int spike_factor);
+      ]
+  | Memsys.Net_fixed { latency } ->
+    Json.Obj [ ("kind", Json.String "net-fixed"); ("latency", Json.Int latency) ]
+
+let memory_to_json = function
+  | Ideal -> Json.Obj [ ("kind", Json.String "ideal") ]
+  | Uncached { write_buffer; wait_write_ack; modules } ->
+    Json.Obj
+      [
+        ("kind", Json.String "uncached");
+        ("modules", Json.Int modules);
+        ("wait_write_ack", Json.Bool wait_write_ack);
+        ( "write_buffer",
+          match write_buffer with
+          | None -> Json.Null
+          | Some b ->
+            Json.Obj
+              [
+                ("depth", Json.Int b.Uncached.depth);
+                ("read_bypass", Json.Bool b.Uncached.read_bypass);
+                ("forwarding", Json.Bool b.Uncached.forwarding);
+                ("drain_delay", Json.Int b.Uncached.drain_delay);
+              ] );
+      ]
+  | Cached { hit_cycles; capacity; coarse_counter } ->
+    Json.Obj
+      [
+        ("kind", Json.String "cached");
+        ("hit_cycles", Json.Int hit_cycles);
+        ( "capacity",
+          match capacity with None -> Json.Null | Some c -> Json.Int c );
+        ("coarse_counter", Json.Bool coarse_counter);
+      ]
+
+let to_json (s : t) =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("description", Json.String s.description);
+      ("fabric", fabric_to_json s.fabric);
+      ("memory", memory_to_json s.memory);
+      ("sync", Json.String (sync_to_string s.sync));
+      ("local_cost", Json.Int s.local_cost);
+    ]
+
+let to_string ?pretty s = Json.to_string ?pretty (to_json s)
+
+let ( let* ) = Result.bind
+
+let field_int ?default name j =
+  match Json.member name j with
+  | None | Some Json.Null -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing integer field %S" name))
+  | Some v -> (
+    match Json.to_int_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S: expected an integer" name))
+
+let field_bool ?default name j =
+  match Json.member name j with
+  | None | Some Json.Null -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing boolean field %S" name))
+  | Some v -> (
+    match Json.to_bool_opt v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "field %S: expected a boolean" name))
+
+let field_string ?default name j =
+  match Json.member name j with
+  | None | Some Json.Null -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing string field %S" name))
+  | Some v -> (
+    match Json.to_string_opt v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %S: expected a string" name))
+
+let field_float ?default name j =
+  match Json.member name j with
+  | None | Some Json.Null -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing number field %S" name))
+  | Some v -> (
+    match Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "field %S: expected a number" name))
+
+let fabric_of_json j =
+  let* kind = field_string "kind" j in
+  match kind with
+  | "bus" ->
+    let* transfer_cycles = field_int ~default:2 "transfer_cycles" j in
+    Ok (Memsys.Bus { transfer_cycles })
+  | "net" ->
+    let* base = field_int ~default:4 "base" j in
+    let* jitter = field_int ~default:6 "jitter" j in
+    Ok (Memsys.Net { base; jitter })
+  | "net-spiky" ->
+    let* base = field_int ~default:4 "base" j in
+    let* jitter = field_int ~default:6 "jitter" j in
+    let* spike_probability = field_float "spike_probability" j in
+    let* spike_factor = field_int "spike_factor" j in
+    Ok (Memsys.Net_spiky { base; jitter; spike_probability; spike_factor })
+  | "net-fixed" ->
+    let* latency = field_int "latency" j in
+    Ok (Memsys.Net_fixed { latency })
+  | k -> Error (Printf.sprintf "unknown fabric kind %S" k)
+
+let memory_of_json j =
+  let* kind = field_string "kind" j in
+  match kind with
+  | "ideal" -> Ok Ideal
+  | "uncached" ->
+    let* modules = field_int ~default:1 "modules" j in
+    let* wait_write_ack = field_bool ~default:false "wait_write_ack" j in
+    let* write_buffer =
+      match Json.member "write_buffer" j with
+      | None | Some Json.Null -> Ok None
+      | Some b ->
+        let* depth = field_int "depth" b in
+        let* read_bypass = field_bool ~default:true "read_bypass" b in
+        let* forwarding = field_bool ~default:true "forwarding" b in
+        let* drain_delay = field_int ~default:6 "drain_delay" b in
+        Ok (Some { Uncached.depth; read_bypass; forwarding; drain_delay })
+    in
+    Ok (Uncached { write_buffer; wait_write_ack; modules })
+  | "cached" ->
+    let* hit_cycles = field_int ~default:1 "hit_cycles" j in
+    let* capacity =
+      match Json.member "capacity" j with
+      | None | Some Json.Null -> Ok None
+      | Some v -> (
+        match Json.to_int_opt v with
+        | Some c -> Ok (Some c)
+        | None -> Error "field \"capacity\": expected an integer or null")
+    in
+    let* coarse_counter = field_bool ~default:false "coarse_counter" j in
+    Ok (Cached { hit_cycles; capacity; coarse_counter })
+  | k -> Error (Printf.sprintf "unknown memory kind %S" k)
+
+let of_json j =
+  let* name = field_string "name" j in
+  let* description = field_string ~default:"" "description" j in
+  let* fabric =
+    match Json.member "fabric" j with
+    | None | Some Json.Null -> Ok Coherent.default_net
+    | Some f -> fabric_of_json f
+  in
+  let* memory =
+    match Json.member "memory" j with
+    | None | Some Json.Null -> Ok default_cached
+    | Some m -> memory_of_json m
+  in
+  let* sync =
+    let* s = field_string ~default:"none" "sync" j in
+    match sync_of_string s with
+    | Some sy -> Ok sy
+    | None -> Error (Printf.sprintf "unknown sync policy %S" s)
+  in
+  let* local_cost = field_int ~default:1 "local_cost" j in
+  Ok { name; description; fabric; memory; sync; local_cost }
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> (
+    match of_string contents with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error e -> Error e
+
+(* --- grids ----------------------------------------------------------------- *)
+
+let grid ?fabrics ?syncs (base : t) : t list =
+  let fabrics = Option.value fabrics ~default:[ base.fabric ] in
+  let syncs = Option.value syncs ~default:[ base.sync ] in
+  List.concat_map
+    (fun fabric ->
+      List.map
+        (fun sync ->
+          {
+            base with
+            name =
+              Printf.sprintf "%s/%s+%s" base.name (fabric_slug fabric)
+                (sync_to_string sync);
+            fabric;
+            sync;
+          })
+        syncs)
+    fabrics

@@ -1,0 +1,103 @@
+(** Machines as data.
+
+    A machine spec is a small declarative record — fabric, memory
+    organisation, synchronization-enforcement policy — from which
+    {!build} assembles a runnable {!Machine.t} on the shared {!Driver}.
+    Every preset in {!Presets} is such a value ({!Presets.specs}), and
+    JSON files ({!of_file}) define new machines without writing OCaml:
+
+    {v
+    { "name": "my-machine",
+      "fabric": { "kind": "net", "base": 4, "jitter": 6 },
+      "memory": { "kind": "cached" },
+      "sync": "reserve-bit" }
+    v} *)
+
+type sync_policy =
+  | Sync_none  (** no enforcement: synchronization treated as data *)
+  | Sync_sc
+      (** every access gates on the outstanding-access counter (the
+          Scheurich–Dubois sufficient condition for sequential
+          consistency) *)
+  | Sync_fence
+      (** synchronization alone waits for all previous accesses;
+          uncached: drain buffer + acknowledgements (the RP3 fence);
+          cached: gate on the counter, resume at commit *)
+  | Sync_def1_stall
+      (** Definition-1 hardware: gate synchronization on the counter
+          {e and} stall until it is globally performed *)
+  | Sync_reserve_bit
+      (** the Section-5.3 implementation: wait only for the
+          synchronization to commit; reserve bits stall the next
+          synchronizing processor instead *)
+  | Sync_drf1_two_level
+      (** Section-6 refinement of {!Sync_reserve_bit}: read-only
+          synchronization takes shared copies and sets no reserve bit *)
+
+type memory =
+  | Ideal  (** the atomic interleaving reference machine *)
+  | Uncached of {
+      write_buffer : Uncached.buffer_config option;
+      wait_write_ack : bool;
+      modules : int;
+    }
+  | Cached of { hit_cycles : int; capacity : int option; coarse_counter : bool }
+
+type t = {
+  name : string;
+  description : string;
+  fabric : Memsys.fabric_kind;  (** ignored by {!Ideal} *)
+  memory : memory;
+  sync : sync_policy;
+  local_cost : int;
+}
+
+val default_cached : memory
+(** [Cached] with the {!Wo_cache.Cache_ctrl.default_config} knobs. *)
+
+val flags : t -> bool * bool
+(** [(sequentially_consistent, weakly_ordered_drf0)], derived from the
+    knobs — a spec cannot mislabel its consistency class. *)
+
+val sequentially_consistent : t -> bool
+val weakly_ordered_drf0 : t -> bool
+
+val build : t -> Machine.t
+(** Assemble the machine.  Specs that reproduce the preset knob
+    combinations build byte-identical machines (same results on every
+    program and seed). *)
+
+val uncached_config : t -> Uncached.config
+(** The uncached driver config this spec denotes.
+    @raise Invalid_argument if [memory] is not [Uncached]. *)
+
+val cached_config : t -> Coherent.config
+(** The coherent driver config this spec denotes.
+    @raise Invalid_argument if [memory] is not [Cached]. *)
+
+val sync_to_string : sync_policy -> string
+val sync_of_string : string -> sync_policy option
+
+val fabric_slug : Memsys.fabric_kind -> string
+(** Short name for grid-generated machine names, e.g. ["net4j6"]. *)
+
+(** {2 JSON} *)
+
+val to_json : t -> Wo_obs.Json.t
+val to_string : ?pretty:bool -> t -> string
+
+val of_json : Wo_obs.Json.t -> (t, string) result
+(** Missing fields default: [description] to [""], [fabric] to
+    {!Coherent.default_net}, [memory] to {!default_cached}, [sync] to
+    [Sync_none], [local_cost] to [1]. *)
+
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+(** {2 Grids} *)
+
+val grid :
+  ?fabrics:Memsys.fabric_kind list -> ?syncs:sync_policy list -> t -> t list
+(** The cross product of fabric and sync variations of a base spec, each
+    named [base/<fabric-slug>+<sync>]; omitted axes keep the base
+    value. *)

@@ -28,7 +28,7 @@ type buffer_config = {
 }
 
 type config = {
-  fabric : Coherent.fabric_kind;
+  fabric : Memsys.fabric_kind;
   write_buffer : buffer_config option;
   wait_write_ack : bool;
   flush_buffer_on_sync : bool;

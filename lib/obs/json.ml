@@ -265,6 +265,8 @@ let to_list_opt = function List l -> Some l | _ -> None
 
 let to_string_opt = function String s -> Some s | _ -> None
 
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
 let to_int_opt = function
   | Int i -> Some i
   | Float f when Float.is_integer f -> Some (int_of_float f)

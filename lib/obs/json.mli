@@ -33,6 +33,8 @@ val to_list_opt : t -> t list option
 
 val to_string_opt : t -> string option
 
+val to_bool_opt : t -> bool option
+
 val to_int_opt : t -> int option
 (** Also accepts integral floats. *)
 

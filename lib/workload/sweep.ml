@@ -150,6 +150,11 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
       - List.length distinct;
   }
 
+let spec_campaign ?runs ?base_seed ?domains ~specs tests =
+  litmus_campaign ?runs ?base_seed ?domains
+    ~machines:(List.map Wo_machines.Spec.build specs)
+    tests
+
 let failures c = List.filter (fun cell -> not cell.ok) c.cells
 
 (* --- workload campaigns --------------------------------------------------- *)

@@ -68,6 +68,18 @@ val litmus_campaign :
     per distinct program — in parallel — then shared read-only by all
     cells. *)
 
+val spec_campaign :
+  ?runs:int ->
+  ?base_seed:int ->
+  ?domains:int ->
+  specs:Wo_machines.Spec.t list ->
+  Wo_litmus.Litmus.t list ->
+  litmus_campaign
+(** {!litmus_campaign} over machines defined as data: every spec is
+    built with {!Wo_machines.Spec.build} and swept against every test.
+    Compose with {!Wo_machines.Spec.grid} to sweep a fabric × sync-policy
+    cross product of one base machine. *)
+
 val failures : litmus_campaign -> litmus_cell list
 (** Cells whose SC promise was broken (the CI contract: must be []). *)
 

@@ -21,6 +21,7 @@ let () =
       ("cache", Test_cache.tests);
       ("race", Test_race.tests);
       ("machines", Test_machines.tests);
+      ("spec", Test_spec.tests);
       ("litmus", Test_litmus.tests);
       ("workload", Test_workload.tests);
       ("delay-set", Test_delay_set.tests);
