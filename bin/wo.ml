@@ -364,7 +364,28 @@ let check_cmd =
              recommended count for this host.  The verdict is identical \
              for every value.")
   in
-  let run test strategy jobs metrics =
+  let engine_arg =
+    let e =
+      Arg.enum
+        [
+          ("compiled", Wo_prog.Enumerate.Compiled);
+          ("ast", Wo_prog.Enumerate.Ast);
+        ]
+    in
+    Arg.(
+      value & opt e Wo_prog.Enumerate.Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine for the $(b,stateful) strategy: \
+             $(b,compiled) (the default: programs are compiled once to \
+             int-coded ops with packed state keys and an off-heap \
+             visited table) or $(b,ast) (the persistent AST \
+             interpreter, the oracle).  Programs the compiler cannot \
+             lower automatically fall back to $(b,ast); the verdict is \
+             identical either way.  Tree strategies always use the AST \
+             interpreter.")
+  in
+  let run test strategy jobs engine metrics =
     let test = or_die (get_litmus test) in
     if test.L.loops then
       or_die
@@ -380,7 +401,7 @@ let check_cmd =
       match strategy with
       | `Stateful ->
         let r, s =
-          Wo_prog.Enumerate.check_drf0_stateful ?domains test.L.program
+          Wo_prog.Enumerate.check_drf0_stateful ~engine ?domains test.L.program
         in
         (r, Some s)
       | (`Naive | `Por) as s ->
@@ -445,6 +466,11 @@ let check_cmd =
                  | `Naive -> "naive"
                  | `Por -> "por"
                  | `Stateful -> "stateful") );
+             ( "engine",
+               Wo_obs.Json.String
+                 (match engine with
+                 | Wo_prog.Enumerate.Compiled -> "compiled"
+                 | Wo_prog.Enumerate.Ast -> "ast") );
              ( "racy",
                Wo_obs.Json.Bool (match result with Ok () -> false | Error _ -> true)
              );
@@ -470,7 +496,9 @@ let check_cmd =
        ~doc:
          "Exhaustively check a litmus program against Definition 3 (DRF0) \
           with a selectable search strategy")
-    Term.(const run $ test_arg $ strategy_arg $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ test_arg $ strategy_arg $ jobs_arg $ engine_arg
+      $ metrics_arg)
 
 (* --- wo workload ---------------------------------------------------------- *)
 

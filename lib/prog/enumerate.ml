@@ -507,12 +507,90 @@ let emit_stateful_obs ~name (s : stateful_stats) =
     Array.iteri (fun i v -> c i (name ^ ".domain_expanded") v) s.sf_per_domain
   end
 
-let outcomes_stateful ?(strategy = Por) ?(max_events = 64)
-    ?(max_executions = 1_000_000) ?domains program =
-  bitset_guard program;
-  let num_domains =
-    match domains with Some d -> max 1 d | None -> default_domains ()
+(* Two execution engines share every stateful walk: the AST interpreter
+   (the oracle) and the compiled interpreter (the default — int-coded
+   ops, packed keys).  [Compiled] silently falls back to the AST path
+   when the program exceeds a compilation bound
+   ({!Prog_compile.compilable}), so the observable behaviour never
+   depends on the engine. *)
+type engine = Compiled | Ast
+
+(* Compiled mirrors of [drain_silent]/[children_of].  [Cinterp.peek]
+   returns the same {!Interp.access} record, so the independence test
+   ([dependent]) is shared verbatim. *)
+let rec c_drain_silent state =
+  let silent =
+    List.find_map
+      (fun p ->
+        let state', ev = Cinterp.step state p in
+        match ev with None -> Some state' | Some _ -> None)
+      (Cinterp.runnable state)
   in
+  match silent with None -> state | Some state' -> c_drain_silent state'
+
+let c_children_of ~strategy state sleep =
+  let procs = Cinterp.runnable state in
+  match procs with
+  | [] -> None
+  | _ ->
+    Some
+      (match strategy with
+      | Naive ->
+        List.map
+          (fun p ->
+            let state', ev = Cinterp.step state p in
+            (state', ev, 0))
+          procs
+      | Por ->
+        let pending =
+          List.map (fun p -> (p, Option.get (Cinterp.peek state p))) procs
+        in
+        let runnable_mask =
+          List.fold_left (fun m (p, _) -> m lor (1 lsl p)) 0 pending
+        in
+        let sleep = sleep land runnable_mask in
+        let rec expand sleep_now acc = function
+          | [] -> List.rev acc
+          | (p, ap) :: rest ->
+            if sleep land (1 lsl p) <> 0 then expand sleep_now acc rest
+            else
+              let child_sleep =
+                List.fold_left
+                  (fun m (q, aq) ->
+                    if sleep_now land (1 lsl q) <> 0 && not (dependent ap aq)
+                    then m lor (1 lsl q)
+                    else m)
+                  0 pending
+              in
+              let state', ev = Cinterp.step state p in
+              expand
+                (sleep_now lor (1 lsl p))
+                ((state', ev, child_sleep) :: acc)
+                rest
+        in
+        expand sleep [] pending)
+
+(* Trace counters for the compiled path: throughput plus the off-heap
+   table's footprint and probe-length histogram (one counter per log2
+   bucket, bucket index as the track).  Behind the recorder's enabled
+   test, like every other emission. *)
+let emit_compiled_obs ~elapsed ~tbl (s : stateful_stats) =
+  let r = Wo_obs.Recorder.active () in
+  if Wo_obs.Recorder.enabled r then begin
+    let c track n v =
+      Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Enum ~track ~name:n ~ts:0
+        ~value:v
+    in
+    c 0 "compiled.states_per_sec"
+      (if elapsed > 0. then
+         int_of_float (float_of_int s.sf_states /. elapsed)
+       else 0);
+    c 0 "visited.arena_bytes" (Visited.arena_bytes tbl);
+    Array.iteri (fun i v -> c i "visited.probe_len" v) (Visited.probe_hist tbl)
+  end
+
+let ast_outcomes_stateful ~strategy ~max_events ~max_executions ~num_domains
+    program =
   let tbl = Visited.create () in
   let leaves = Atomic.make 0 in
   (* Per-worker slots are written only by their owner and read after the
@@ -567,6 +645,74 @@ let outcomes_stateful ?(strategy = Por) ?(max_events = 64)
   in
   emit_stateful_obs ~name:"stateful.outcomes" stats;
   (Outcome_set.elements outcomes, stats)
+
+(* The compiled twin: same scheduler, same claim discipline, but
+   Cinterp states and packed exact keys.  Outcome sets are identical to
+   the AST path's (each engine's dedup is sound for its own state
+   space, and the two state spaces generate the same executions). *)
+let c_outcomes_stateful ~strategy ~max_events ~max_executions ~num_domains cp =
+  let t0 = Unix.gettimeofday () in
+  let tbl = Visited.create () in
+  let leaves = Atomic.make 0 in
+  let per_domain = Array.make num_domains 0 in
+  let outs = Array.make num_domains Outcome_set.empty in
+  let wstats =
+    Wsq.run ~domains:num_domains
+      ~roots:[ (Cinterp.init cp, 0) ]
+      (fun ~worker ~push ~hungry ~halt:_ (state0, sleep0) ->
+        let rec go state sleep =
+          let state = c_drain_silent state in
+          if Cinterp.events_so_far state > max_events then
+            raise Limit_exceeded;
+          match Visited.try_claim tbl (Cinterp.exact_key state) sleep with
+          | `Skip -> ()
+          | `Explore sleep -> (
+            per_domain.(worker) <- per_domain.(worker) + 1;
+            match c_children_of ~strategy state sleep with
+            | None ->
+              if Atomic.fetch_and_add leaves 1 >= max_executions then
+                raise Limit_exceeded;
+              outs.(worker) <-
+                Outcome_set.add (Cinterp.outcome state) outs.(worker)
+            | Some kids -> (
+              let tasks = List.map (fun (s, _ev, sl) -> (s, sl)) kids in
+              match tasks with
+              | (s1, sl1) :: (_ :: _ as rest) when hungry () ->
+                List.iter push rest;
+                go s1 sl1
+              | tasks -> List.iter (fun (s, sl) -> go s sl) tasks))
+        in
+        go state0 sleep0)
+  in
+  let outcomes = Array.fold_left Outcome_set.union Outcome_set.empty outs in
+  let stats =
+    {
+      sf_states = Array.fold_left ( + ) 0 per_domain;
+      sf_distinct = Visited.size tbl;
+      sf_hits = Visited.hits tbl;
+      sf_executions = Atomic.get leaves;
+      sf_steals = wstats.Wsq.steals;
+      sf_per_domain = per_domain;
+    }
+  in
+  emit_stateful_obs ~name:"stateful.outcomes" stats;
+  emit_compiled_obs ~elapsed:(Unix.gettimeofday () -. t0) ~tbl stats;
+  (Outcome_set.elements outcomes, stats)
+
+let outcomes_stateful ?(engine = Compiled) ?(strategy = Por) ?(max_events = 64)
+    ?(max_executions = 1_000_000) ?domains program =
+  bitset_guard program;
+  let num_domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  match
+    match engine with Compiled -> Prog_compile.compile program | Ast -> None
+  with
+  | Some cp ->
+    c_outcomes_stateful ~strategy ~max_events ~max_executions ~num_domains cp
+  | None ->
+    ast_outcomes_stateful ~strategy ~max_events ~max_executions ~num_domains
+      program
 
 (* Internal signal: a race was found; carries the closure-checked report of
    the completed racy execution. *)
@@ -632,8 +778,157 @@ let replay_task ?model ~mode ~nprocs ~max_events state =
     (Wo_core.Execution.events (Interp.execution state));
   inc
 
-let check_drf0_stateful ?(strategy = Por) ?model ?(symmetry = true)
-    ?(max_events = 64) ?(max_executions = 1_000_000) ?domains program =
+(* Compiled twins of the DRF0 walk machinery.  Identical discipline;
+   only the interpreter and the canonical key construction differ, and
+   the sleep transport reuses State_key's arrangement maps. *)
+let c_complete_for_report ~max_events state =
+  let rec go state rot budget =
+    if budget = 0 then state
+    else
+      match Cinterp.runnable state with
+      | [] -> state
+      | procs ->
+        let p = List.nth procs (rot mod List.length procs) in
+        go (fst (Cinterp.step state p)) (rot + 1) (budget - 1)
+  in
+  go state 0 ((4 * max_events) + 64)
+
+let c_stateful_racy ?model ~max_events state =
+  let completed = c_complete_for_report ~max_events state in
+  raise (Racy_state (Wo_core.Drf0.check ?model (Cinterp.execution completed)))
+
+let c_drf0_dag_walk ~strategy ~symmetry ?model ~max_events ~max_executions
+    ~tbl ~leaves ~on_node ~offload inc root root_sleep =
+  let rec go state sleep =
+    let state = c_drain_silent state in
+    if Cinterp.events_so_far state > max_events then raise Limit_exceeded;
+    let key, order =
+      Cinterp.canonical_key ~symmetry state (Wo_core.Drf0_inc.summary inc)
+    in
+    match Visited.try_claim tbl key (State_key.map_sleep ~order sleep) with
+    | `Skip -> ()
+    | `Explore canon_sleep -> (
+      on_node ();
+      let sleep = State_key.unmap_sleep ~order canon_sleep in
+      match c_children_of ~strategy state sleep with
+      | None ->
+        if Atomic.fetch_and_add leaves 1 >= max_executions then
+          raise Limit_exceeded
+      | Some kids -> (
+        let explore (state', ev, sleep') =
+          match ev with
+          | None -> go state' sleep'
+          | Some e -> (
+            match Wo_core.Drf0_inc.push inc e with
+            | Some _race -> c_stateful_racy ?model ~max_events state'
+            | None ->
+              go state' sleep';
+              Wo_core.Drf0_inc.pop inc)
+        in
+        match kids with
+        | first :: (_ :: _ as rest) when offload rest -> explore first
+        | kids -> List.iter explore kids))
+  in
+  go root root_sleep
+
+let c_replay_task ?model ~mode ~nprocs ~max_events state =
+  let inc = Wo_core.Drf0_inc.create ~mode ~nprocs () in
+  List.iter
+    (fun e ->
+      match Wo_core.Drf0_inc.push inc e with
+      | None -> ()
+      | Some _race -> c_stateful_racy ?model ~max_events state)
+    (Wo_core.Execution.events (Cinterp.execution state));
+  inc
+
+(* Compiled check: the same sequential-rerun discipline as the AST path,
+   so racy reports are deterministic across domain counts — and equal to
+   the AST path's, because both sequential walks visit children in tree
+   order with identical events, and a skipped subtree's states were
+   fully explored (race-free) earlier in DFS order. *)
+let c_check_drf0_stateful ~strategy ?model ~symmetry ~max_events
+    ~max_executions ~num_domains ~mode cp =
+  let t0 = Unix.gettimeofday () in
+  let nprocs = cp.Prog_compile.nprocs in
+  let final_tbl = ref None in
+  let run_seq () =
+    let tbl = Visited.create () in
+    final_tbl := Some tbl;
+    let leaves = Atomic.make 0 in
+    let states = ref 0 in
+    let inc = Wo_core.Drf0_inc.create ~mode ~nprocs () in
+    let result =
+      try
+        c_drf0_dag_walk ~strategy ~symmetry ?model ~max_events ~max_executions
+          ~tbl ~leaves
+          ~on_node:(fun () -> incr states)
+          ~offload:(fun _ -> false)
+          inc (Cinterp.init cp) 0;
+        Ok ()
+      with Racy_state r -> Error r
+    in
+    ( result,
+      {
+        sf_states = !states;
+        sf_distinct = Visited.size tbl;
+        sf_hits = Visited.hits tbl;
+        sf_executions = Atomic.get leaves;
+        sf_steals = 0;
+        sf_per_domain = [| !states |];
+      } )
+  in
+  let result, stats =
+    if num_domains = 1 then run_seq ()
+    else begin
+      let tbl = Visited.create () in
+      final_tbl := Some tbl;
+      let leaves = Atomic.make 0 in
+      let per_domain = Array.make num_domains 0 in
+      let par =
+        try
+          Ok
+            (Wsq.run ~domains:num_domains
+               ~roots:[ (Cinterp.init cp, 0) ]
+               (fun ~worker ~push ~hungry ~halt:_ (state0, sleep0) ->
+                 let inc =
+                   c_replay_task ?model ~mode ~nprocs ~max_events state0
+                 in
+                 c_drf0_dag_walk ~strategy ~symmetry ?model ~max_events
+                   ~max_executions ~tbl ~leaves
+                   ~on_node:(fun () ->
+                     per_domain.(worker) <- per_domain.(worker) + 1)
+                   ~offload:(fun rest ->
+                     hungry ()
+                     &&
+                     (List.iter (fun (s, _ev, sl) -> push (s, sl)) rest;
+                      true))
+                   inc state0 sleep0))
+        with Racy_state _ -> Error ()
+      in
+      match par with
+      | Ok wstats ->
+        ( Ok (),
+          {
+            sf_states = Array.fold_left ( + ) 0 per_domain;
+            sf_distinct = Visited.size tbl;
+            sf_hits = Visited.hits tbl;
+            sf_executions = Atomic.get leaves;
+            sf_steals = wstats.Wsq.steals;
+            sf_per_domain = per_domain;
+          } )
+      | Error () -> run_seq ()
+    end
+  in
+  emit_stateful_obs ~name:"stateful.drf0" stats;
+  (match !final_tbl with
+  | Some tbl ->
+    emit_compiled_obs ~elapsed:(Unix.gettimeofday () -. t0) ~tbl stats
+  | None -> ());
+  (result, stats)
+
+let check_drf0_stateful ?(engine = Compiled) ?(strategy = Por) ?model
+    ?(symmetry = true) ?(max_events = 64) ?(max_executions = 1_000_000)
+    ?domains program =
   bitset_guard program;
   let num_domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
@@ -655,6 +950,12 @@ let check_drf0_stateful ?(strategy = Por) ?model ?(symmetry = true)
         sf_steals = 0;
         sf_per_domain = [| s.states |];
       } )
+  | Some mode
+    when (match engine with Compiled -> true | Ast -> false)
+         && Prog_compile.compilable program ->
+    let cp = Option.get (Prog_compile.compile program) in
+    c_check_drf0_stateful ~strategy ?model ~symmetry ~max_events
+      ~max_executions ~num_domains ~mode cp
   | Some mode ->
     let nprocs = Program.num_procs program in
     (* Sequential walk: one incremental checker rides the DFS (no replay),

@@ -148,6 +148,17 @@ val check_drf0_par :
 
 (** {2 Stateful (DAG) exploration} *)
 
+type engine =
+  | Compiled
+      (** execute the {!Prog_compile}d program with {!Cinterp} and key
+          the visited table on packed int encodings — the default hot
+          path.  Programs the compiler cannot lower (see
+          {!Prog_compile.compilable}) fall back to [Ast]
+          automatically, so the choice never changes observable
+          results. *)
+  | Ast  (** the persistent {!Interp} with {!State_key} encodings — the
+             oracle the compiled path is differentially tested against *)
+
 type stateful_stats = {
   sf_states : int;  (** DAG nodes expanded (tree re-expansions merged away) *)
   sf_distinct : int;  (** distinct states in the visited table *)
@@ -158,12 +169,14 @@ type stateful_stats = {
 }
 
 val outcomes_stateful :
+  ?engine:engine ->
   ?strategy:strategy -> ?max_events:int -> ?max_executions:int ->
   ?domains:int -> Program.t -> Outcome.t list * stateful_stats
 (** {!outcomes} as a DAG search: states are claimed in a visited table
-    keyed on exact structural snapshots ({!State_key.exact}), so schedules
+    keyed on exact structural snapshots ({!State_key.exact} for [Ast],
+    {!Cinterp.exact_key} for the default [Compiled]), so schedules
     converging on the same state expand it once.  The outcome set is
-    identical to {!outcomes} for every [strategy] and [domains] value
+    identical to {!outcomes} for every [engine], [strategy] and [domains] value
     (outcome collection commutes with dedup: a pruned subtree's outcomes
     were all reached from the first visit).  [domains > 1] explores under a
     work-stealing scheduler with a shared sharded table; [max_executions]
@@ -171,6 +184,7 @@ val outcomes_stateful :
     {!executions}. *)
 
 val check_drf0_stateful :
+  ?engine:engine ->
   ?strategy:strategy ->
   ?model:Wo_core.Sync_model.t ->
   ?symmetry:bool ->
@@ -178,7 +192,8 @@ val check_drf0_stateful :
   ?domains:int -> Program.t ->
   (unit, Wo_core.Drf0.report) result * stateful_stats
 (** Definition 3 as a DAG search.  The visited table is keyed on
-    {!State_key.canonical} encodings — interpreter state plus the
+    canonical encodings ({!State_key.canonical} for [Ast],
+    {!Cinterp.canonical_key} for the default [Compiled]) — interpreter state plus the
     incremental checker's happens-before summary, quotiented by the
     isomorphisms the verdict cannot observe: location renaming, permutation
     of symmetric processors ([symmetry], default [true]; Dekker-style

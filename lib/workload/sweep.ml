@@ -63,20 +63,31 @@ type litmus_campaign = {
 }
 
 (* Structural identity of the parts of a program the SC outcome set
-   depends on.  [Instr.t] and the initial/observable lists are pure data
-   (no closures), so marshalling them is a sound content identity.  The
-   digest is only an accelerator: on a digest hit the full payload is
-   compared too, so a Digest collision between distinct programs can
-   never hand a test the wrong memoized SC outcome set. *)
+   depends on.  The payload is the compiled program's canonical byte
+   encoding (code, index tables, initial memory, observability) — a
+   versioned format that is stable across runs and OCaml releases,
+   where [Marshal]'s format is a compiler implementation detail.  Two
+   programs share an encoding iff they compile to the same int-coded
+   form, which determines the SC outcome set.  Programs the compiler
+   cannot lower (beyond the packing bounds — far beyond anything a
+   sweep enumerates) fall back to a tagged [Marshal] payload; the tag
+   byte keeps the two namespaces disjoint.  The digest is only an
+   accelerator: on a digest hit the full payload is compared too, so a
+   Digest collision between distinct programs can never hand a test the
+   wrong memoized SC outcome set. *)
 type program_key = { pk_digest : Digest.t; pk_payload : string }
 
 let program_key (p : Wo_prog.Program.t) =
   let payload =
-    Marshal.to_string
-      ( p.Wo_prog.Program.threads,
-        p.Wo_prog.Program.initial,
-        p.Wo_prog.Program.observable )
-      []
+    match Wo_prog.Prog_compile.encode_program p with
+    | Some enc -> "C" ^ enc
+    | None ->
+      "M"
+      ^ Marshal.to_string
+          ( p.Wo_prog.Program.threads,
+            p.Wo_prog.Program.initial,
+            p.Wo_prog.Program.observable )
+          []
   in
   { pk_digest = Digest.string payload; pk_payload = payload }
 

@@ -1,0 +1,339 @@
+(* Tests for the compiled hot path: Prog_compile lowering, the Cinterp
+   int-machine, packed state keys, and the off-heap visited table.  The
+   contract is equivalence — the compiled interpreter must be
+   observationally identical to the AST interpreter (its oracle) under
+   every schedule, and the stateful enumerator must produce identical
+   results under either engine.  The key/table tests pin the packing and
+   claim disciplines the enumerator's soundness rests on. *)
+
+module I = Wo_prog.Instr
+module P = Wo_prog.Program
+module PC = Wo_prog.Prog_compile
+module C = Wo_prog.Cinterp
+module In = Wo_prog.Interp
+module En = Wo_prog.Enumerate
+module V = Wo_prog.Visited
+module O = Wo_prog.Outcome
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let outcome_sets_equal a b =
+  List.length a = List.length b && List.for_all2 O.equal a b
+
+let reports_agree (a : (unit, Wo_core.Drf0.report) result)
+    (b : (unit, Wo_core.Drf0.report) result) =
+  match (a, b) with
+  | Ok (), Ok () -> true
+  | Error ra, Error rb ->
+    ra.Wo_core.Drf0.races = rb.Wo_core.Drf0.races
+    && Wo_core.Execution.events ra.Wo_core.Drf0.execution
+       = Wo_core.Execution.events rb.Wo_core.Drf0.execution
+  | _ -> false
+
+let litmus_programs =
+  [
+    Wo_litmus.Litmus.figure1.Wo_litmus.Litmus.program;
+    Wo_litmus.Litmus.message_passing.Wo_litmus.Litmus.program;
+    Wo_litmus.Litmus.dekker_sync.Wo_litmus.Litmus.program;
+    Wo_litmus.Litmus.atomicity.Wo_litmus.Litmus.program;
+    Wo_litmus.Litmus.coherence.Wo_litmus.Litmus.program;
+  ]
+
+(* A deterministic schedule source: a seeded LCG picking an index into
+   the current runnable list.  Both interpreters are driven by the same
+   choice stream, so any observable divergence is the interpreter's. *)
+let lcg seed =
+  let s = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod bound
+
+(* Run both interpreters in lockstep under one schedule, asserting
+   observable equality at every step; returns false on any divergence.
+   [max_steps] bounds spin-lock programs (the equality assertions still
+   ran for every step taken). *)
+let lockstep_equal ?(max_steps = 2000) seed program =
+  match PC.compile program with
+  | None -> true (* not lowerable: nothing to compare *)
+  | Some cp ->
+    let pick = lcg seed in
+    let rec go ast cst steps =
+      let ast_run = In.runnable ast in
+      let c_run = C.runnable cst in
+      ast_run = c_run
+      && In.memory ast = C.memory cst
+      && In.events_so_far ast = C.events_so_far cst
+      && List.for_all (fun p -> In.peek ast p = C.peek cst p) ast_run
+      &&
+      match ast_run with
+      | [] -> O.equal (In.outcome ast) (C.outcome cst)
+      | _ when steps >= max_steps -> true
+      | procs ->
+        let p = List.nth procs (pick (List.length procs)) in
+        let ast', ev_a = In.step ast p in
+        let cst', ev_c = C.step cst p in
+        ev_a = ev_c && go ast' cst' (steps + 1)
+    in
+    go (In.init program) (C.init cp) 0
+
+let prop_lockstep_racy =
+  QCheck.Test.make
+    ~name:
+      "compiled interpreter equals the AST interpreter in lockstep on \
+       random racy programs (runnable, peek, memory, events, outcome)"
+    ~count:60 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs:3 ~ops_per_proc:4
+          ~locs:2 ()
+      in
+      List.for_all
+        (fun sseed -> lockstep_equal sseed program)
+        [ 1; 42; 1 + (7 * pseed) ])
+
+let prop_lockstep_lock_disciplined =
+  (* Spin locks exercise Tas, While and If lowering — control flow the
+     racy generator never emits. *)
+  QCheck.Test.make
+    ~name:
+      "compiled interpreter equals the AST interpreter in lockstep on \
+       lock-disciplined (looping) programs"
+    ~count:30 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.lock_disciplined ~seed:pseed ~procs:2
+          ~sections_per_proc:1 ~ops_per_section:2 ~shared_locs:2 ~locks:1 ()
+      in
+      List.for_all
+        (fun sseed -> lockstep_equal sseed program)
+        [ 3; 1 + (11 * pseed) ])
+
+let test_lockstep_litmus () =
+  List.iter
+    (fun program ->
+      List.iter
+        (fun seed ->
+          check "lockstep equal on litmus" true (lockstep_equal seed program))
+        [ 0; 1; 2; 3; 4 ])
+    litmus_programs
+
+(* --- packed keys ------------------------------------------------------------ *)
+
+(* Equal keys must imply equal observable snapshots: walk every state of
+   a small program's reachable graph and compare key-equality against a
+   full observable snapshot (runnable + pending accesses + memory +
+   event count + outcome).  The converse (distinct snapshots get
+   distinct keys) is implied by the same table. *)
+let prop_exact_key_separates =
+  QCheck.Test.make
+    ~name:"exact_key equality coincides with observable-snapshot equality"
+    ~count:40 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs:2 ~ops_per_proc:3
+          ~locs:2 ()
+      in
+      match PC.compile program with
+      | None -> true
+      | Some cp ->
+        let snapshot st =
+          ( C.events_so_far st,
+            C.runnable st,
+            List.map (C.peek st) (C.runnable st),
+            C.memory st,
+            C.outcome st )
+        in
+        let states = ref [] in
+        let seen = Hashtbl.create 64 in
+        let rec walk st =
+          let k = C.exact_key st in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            states := (k, snapshot st) :: !states;
+            List.iter (fun p -> walk (fst (C.step st p))) (C.runnable st)
+          end
+        in
+        walk (C.init cp);
+        List.for_all
+          (fun (k1, s1) ->
+            List.for_all
+              (fun (k2, s2) -> (k1 = k2) = (s1 = s2) || (k1 <> k2 && s1 = s2))
+              !states
+          (* distinct keys may still map to equal snapshots (the key also
+             separates on registers and pcs the snapshot cannot see), but
+             equal keys must never join distinct snapshots *))
+          !states)
+
+let test_exact_key_distinguishes_event_count () =
+  (* Same memory and pcs-to-go can differ in how many events were spent
+     reaching them; the key must separate those (the max_events budget
+     differs).  Two writes of the same value: after 1 and after 2 steps
+     memory is identical but the event counts differ. *)
+  let p = P.make [ [ I.Write (0, I.Const 1); I.Write (0, I.Const 1) ] ] in
+  match PC.compile p with
+  | None -> Alcotest.fail "trivial program must compile"
+  | Some cp ->
+    let s0 = C.init cp in
+    let s1 = fst (C.step s0 0) in
+    let s2 = fst (C.step s1 0) in
+    check "three distinct keys along the chain" true
+      (C.exact_key s0 <> C.exact_key s1
+      && C.exact_key s1 <> C.exact_key s2
+      && C.exact_key s0 <> C.exact_key s2)
+
+(* --- engine identity in the enumerator -------------------------------------- *)
+
+let prop_engines_agree_on_outcomes =
+  QCheck.Test.make
+    ~name:"outcomes_stateful: compiled engine equals AST engine"
+    ~count:40 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs:2 ~ops_per_proc:3
+          ~locs:2 ()
+      in
+      let reference, _ = En.outcomes_stateful ~engine:En.Ast ~domains:1 program in
+      List.for_all
+        (fun domains ->
+          outcome_sets_equal reference
+            (fst (En.outcomes_stateful ~engine:En.Compiled ~domains program)))
+        [ 1; 3 ])
+
+let prop_engines_agree_on_drf0 =
+  QCheck.Test.make
+    ~name:
+      "check_drf0_stateful: compiled engine's verdict and racy report \
+       equal the AST engine's, with and without symmetry"
+    ~count:30 QCheck.small_int (fun pseed ->
+      let program =
+        Wo_litmus.Random_prog.racy ~seed:pseed ~procs:2 ~ops_per_proc:3
+          ~locs:2 ()
+      in
+      let reference, _ =
+        En.check_drf0_stateful ~engine:En.Ast ~domains:1 program
+      in
+      List.for_all
+        (fun (symmetry, domains) ->
+          reports_agree reference
+            (fst
+               (En.check_drf0_stateful ~engine:En.Compiled ~symmetry ~domains
+                  program)))
+        [ (true, 1); (false, 1); (true, 3) ])
+
+let test_engines_agree_on_litmus () =
+  List.iter
+    (fun program ->
+      let ast_outs, _ = En.outcomes_stateful ~engine:En.Ast program in
+      let c_outs, _ = En.outcomes_stateful ~engine:En.Compiled program in
+      check "litmus outcome sets equal across engines" true
+        (outcome_sets_equal ast_outs c_outs);
+      let ast_r, _ = En.check_drf0_stateful ~engine:En.Ast program in
+      let c_r, _ = En.check_drf0_stateful ~engine:En.Compiled program in
+      check "litmus DRF0 reports equal across engines" true
+        (reports_agree ast_r c_r))
+    litmus_programs
+
+let test_uncompilable_falls_back () =
+  (* Beyond the packing bounds the compiled engine must silently fall
+     back to the AST path rather than fail.  A single thread one op past
+     the per-thread op-count bound is uncompilable yet trivially
+     enumerable (one schedule, one chain of states). *)
+  let ops = 2049 in
+  let p = P.make [ List.init ops (fun _ -> I.Write (0, I.Const 1)) ] in
+  check "program is beyond compiler bounds" false (PC.compilable p);
+  let outs, _ =
+    En.outcomes_stateful ~engine:En.Compiled ~domains:1 ~max_events:(ops + 1) p
+  in
+  let reference, _ =
+    En.outcomes_stateful ~engine:En.Ast ~domains:1 ~max_events:(ops + 1) p
+  in
+  check "fallback produces the AST result" true
+    (outcome_sets_equal reference outs)
+
+let test_compile_canonical_encoding_stable () =
+  (* The sweep memoizer keys on the canonical encoding: structurally
+     identical programs (same threads, initial memory, observability)
+     must encode equal; observably different ones must not. *)
+  let mk name = P.make ~name [ [ I.Write (0, I.Const 1) ]; [ I.Read (0, 7) ] ] in
+  let enc p = Option.get (PC.encode_program p) in
+  check "names do not affect the encoding" true
+    (enc (mk "a") = enc (mk "b"));
+  let q = P.make [ [ I.Write (0, I.Const 2) ]; [ I.Read (0, 7) ] ] in
+  check "different constants encode differently" true (enc (mk "a") <> enc q)
+
+(* --- the off-heap visited table --------------------------------------------- *)
+
+let test_visited_grow_and_arena () =
+  (* Push the table far past its initial capacity with distinct keys of
+     assorted lengths: every key must stay claimed across growth and
+     arena chunk turnover, and the accounting must add up. *)
+  let t = V.create ~shards:2 () in
+  let key i = Printf.sprintf "key-%d-%s" i (String.make (i mod 97) 'x') in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    match V.try_claim t (key i) 0 with
+    | `Explore _ -> ()
+    | `Skip -> Alcotest.fail "fresh key must explore"
+  done;
+  check_int "all keys distinct" n (V.size t);
+  for i = 0 to n - 1 do
+    match V.try_claim t (key i) 0 with
+    | `Skip -> ()
+    | `Explore _ -> Alcotest.fail "claimed key must skip"
+  done;
+  check_int "every revisit hit" n (V.hits t);
+  check "arena holds at least the raw key bytes" true
+    (V.arena_bytes t
+    >= List.fold_left ( + ) 0 (List.init n (fun i -> String.length (key i))));
+  check_int "probe histogram counts every first claim" n
+    (Array.fold_left ( + ) 0 (V.probe_hist t))
+
+let test_visited_widen_survives_growth () =
+  (* The sleep-narrowing discipline (test_statespace pins it on a fresh
+     table) must also hold for entries that have been rehashed by
+     growth. *)
+  let t = V.create ~shards:1 () in
+  (match V.try_claim t "subject" 0b11 with
+  | `Explore _ -> ()
+  | `Skip -> Alcotest.fail "first claim explores");
+  (* Force several growth cycles over the subject's stripe. *)
+  for i = 0 to 5_000 do
+    ignore (V.try_claim t (Printf.sprintf "filler-%d" i) 0)
+  done;
+  (match V.try_claim t "subject" 0b01 with
+  | `Explore s -> check_int "narrower claim re-explores with intersection" 0b01 s
+  | `Skip -> Alcotest.fail "narrower claim must re-explore after growth");
+  match V.try_claim t "subject" 0b11 with
+  | `Skip -> ()
+  | `Explore _ -> Alcotest.fail "covered claim must skip after growth"
+
+let test_hash64_deterministic_and_spread () =
+  let h = V.hash64 "some-state-key" in
+  check "hash is deterministic" true (h = V.hash64 "some-state-key");
+  check "hash is non-negative" true (h >= 0);
+  let distinct =
+    List.sort_uniq compare
+      (List.init 1000 (fun i -> V.hash64 (string_of_int i)))
+  in
+  check_int "no collisions across 1000 short keys" 1000 (List.length distinct)
+
+let tests =
+  [
+    Alcotest.test_case "lockstep equal on litmus" `Quick test_lockstep_litmus;
+    Alcotest.test_case "exact_key separates event counts" `Quick
+      test_exact_key_distinguishes_event_count;
+    Alcotest.test_case "engines agree on litmus" `Quick
+      test_engines_agree_on_litmus;
+    Alcotest.test_case "uncompilable programs fall back" `Quick
+      test_uncompilable_falls_back;
+    Alcotest.test_case "canonical encoding is stable" `Quick
+      test_compile_canonical_encoding_stable;
+    Alcotest.test_case "visited grows without losing claims" `Quick
+      test_visited_grow_and_arena;
+    Alcotest.test_case "widen discipline survives growth" `Quick
+      test_visited_widen_survives_growth;
+    Alcotest.test_case "hash64 deterministic" `Quick
+      test_hash64_deterministic_and_spread;
+    QCheck_alcotest.to_alcotest prop_lockstep_racy;
+    QCheck_alcotest.to_alcotest prop_lockstep_lock_disciplined;
+    QCheck_alcotest.to_alcotest prop_exact_key_separates;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_outcomes;
+    QCheck_alcotest.to_alcotest prop_engines_agree_on_drf0;
+  ]

@@ -16,6 +16,7 @@ let () =
       ("prog", Test_prog.tests);
       ("enumerate", Test_enumerate.tests);
       ("statespace", Test_statespace.tests);
+      ("compiled", Test_compiled.tests);
       ("sim", Test_sim.tests);
       ("interconnect", Test_interconnect.tests);
       ("cache", Test_cache.tests);
