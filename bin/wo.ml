@@ -901,6 +901,287 @@ let delays_cmd =
        ~doc:"Shasha-Snir delay-set analysis and fence insertion")
     Term.(const run $ test_arg)
 
+(* --- wo synth / wo campaign / wo serve -------------------------------------- *)
+
+(* The mutation corpus: every loop-free catalogued test. *)
+let synth_corpus () =
+  List.filter_map
+    (fun (t : L.t) ->
+      if t.L.loops then None
+      else
+        Some
+          {
+            Wo_synth.Synth.base_name = t.L.name;
+            Wo_synth.Synth.base_program = t.L.program;
+            Wo_synth.Synth.base_drf0 = t.L.drf0;
+          })
+    L.all
+
+let family_doc =
+  Printf.sprintf "Generator family; one of: %s."
+    (String.concat ", " Wo_synth.Synth.families)
+
+let synth_cmd =
+  let family_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FAMILY" ~doc:family_doc)
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "c"; "count" ] ~docv:"N"
+          ~doc:"Cases to generate, at seeds $(i,SEED)..$(i,SEED)+$(docv)-1.")
+  in
+  let run family seed count =
+    match
+      Wo_synth.Synth.batch ~corpus:(synth_corpus ()) ~family ~base_seed:seed
+        ~count ()
+    with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok cases ->
+      List.iter
+        (fun (c : Wo_synth.Synth.case) ->
+          Format.printf "%s  [%s, seed %d, classified %s]@."
+            c.Wo_synth.Synth.name c.Wo_synth.Synth.family c.Wo_synth.Synth.seed
+            (Wo_synth.Synth.classification_name c.Wo_synth.Synth.classification);
+          (match c.Wo_synth.Synth.forbidden_desc with
+          | Some d -> Format.printf "forbidden outcome: %s@." d
+          | None -> ());
+          Format.printf "%a@.@." Wo_prog.Program.pp c.Wo_synth.Synth.program)
+        cases
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Synthesize litmus programs: critical-cycle construction, snippet \
+          mutation, or the seeded random families")
+    Term.(const run $ family_arg $ seed_arg $ count_arg)
+
+(* A 12-machine grid over one base spec: three fabric models x four
+   synchronization-enforcement policies. *)
+let campaign_grid spec =
+  Wo_machines.Spec.grid
+    ~fabrics:
+      [
+        Wo_machines.Memsys.Bus { transfer_cycles = 2 };
+        Wo_machines.Memsys.Net { base = 2; jitter = 6 };
+        Wo_machines.Memsys.Net_fixed { latency = 4 };
+      ]
+    ~syncs:
+      [
+        Wo_machines.Spec.Sync_none;
+        Wo_machines.Spec.Sync_fence;
+        Wo_machines.Spec.Sync_reserve_bit;
+        Wo_machines.Spec.Sync_drf1_two_level;
+      ]
+    spec
+
+let store_arg =
+  Arg.(
+    value & opt string "wo-campaign.store"
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Persistent verdict store (append-only log); an existing store \
+           resumes the campaign, skipping every settled cell.")
+
+let campaign_cmd =
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list string) [ "wo-new" ]
+      & info [ "m"; "machines" ] ~docv:"M1,M2,..."
+          ~doc:"Comma-separated machines to campaign over (see `wo list').")
+  in
+  let families_arg =
+    Arg.(
+      value
+      & opt (list string) [ "cycle-drf0"; "cycle-racy"; "cycle-mixed"; "mutate" ]
+      & info [ "families" ] ~docv:"F1,F2,..." ~doc:family_doc)
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "c"; "count" ] ~docv:"N" ~doc:"Cases generated per family.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "runs" ] ~docv:"N" ~doc:"Seeded runs per cell.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"OCaml domains; $(b,0) picks the recommended count.")
+  in
+  let grid_arg =
+    Arg.(
+      value & flag
+      & info [ "grid" ]
+          ~doc:
+            "Expand every selected machine into its 12-point fabric x \
+             sync-policy grid (3 fabrics x 4 policies).")
+  in
+  let shard_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "shard" ] ~docv:"N"
+          ~doc:
+            "Cells per work unit; the store is synced after each shard, so \
+             a kill loses at most one shard of work.")
+  in
+  let max_shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-shards" ] ~docv:"N"
+          ~doc:"Stop (cleanly) after $(docv) shards — partial runs.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Also write the findings report to $(docv).")
+  in
+  let run families count seed runs jobs machine_names machine_files grid shard
+      max_shards store_path report metrics =
+    let specs =
+      List.map (fun n -> or_die (get_spec n)) machine_names
+      @ List.map (fun f -> or_die (load_spec f)) machine_files
+    in
+    let specs =
+      if grid then List.concat_map campaign_grid specs else specs
+    in
+    let corpus = synth_corpus () in
+    let cases =
+      List.concat_map
+        (fun family ->
+          match
+            Wo_synth.Synth.batch ~corpus ~family ~base_seed:seed ~count ()
+          with
+          | Ok cs -> cs
+          | Error e ->
+            prerr_endline e;
+            exit 1)
+        families
+    in
+    let config =
+      {
+        Wo_campaign.Campaign.runs;
+        base_seed = seed;
+        domains = (if jobs <= 0 then None else Some jobs);
+        shard;
+        max_shards;
+        store_path;
+      }
+    in
+    Printf.printf "campaign: %d cases x %d machines = %d cells (store %s)\n%!"
+      (List.length cases) (List.length specs)
+      (List.length cases * List.length specs)
+      store_path;
+    let t0 = Unix.gettimeofday () in
+    let shards_total =
+      (List.length cases * List.length specs + shard - 1) / max 1 shard
+    in
+    let on_shard ~shard ~settled:_ ~executed ~total =
+      if shard mod 50 = 0 || shard = shards_total - 1 then
+        Printf.printf "  shard %d/%d: %d/%d cells settled by this run\n%!"
+          (shard + 1) shards_total executed total
+    in
+    let result =
+      Wo_campaign.Campaign.run ~on_shard config ~specs ~cases
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "settled %d cell(s) in %.2fs (%d already settled in the store, %d \
+       shard(s), %d SC sets enumerated)%s\n"
+      result.Wo_campaign.Campaign.r_executed wall
+      result.Wo_campaign.Campaign.r_cache_hits
+      result.Wo_campaign.Campaign.r_shards
+      result.Wo_campaign.Campaign.r_sc_sets
+      (if result.Wo_campaign.Campaign.r_stopped_early then
+         " [stopped early: --max-shards]"
+       else "");
+    let report_text = Wo_campaign.Campaign.findings_report result in
+    print_string report_text;
+    (match report with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc report_text;
+      close_out oc;
+      Printf.printf "report: wrote %s\n" path);
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"campaign"
+          (Wo_campaign.Campaign.result_json config result
+          @ [ ("wall_s", Wo_obs.Json.Float wall) ])
+      in
+      Wo_obs.Metrics.write_file ~path doc;
+      Printf.printf "metrics: wrote %s\n" path);
+    if result.Wo_campaign.Campaign.r_findings <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a resumable synthesis campaign: generated litmus cases x \
+          machine specs, verdicts persisted in an append-only store")
+    Term.(
+      const run $ families_arg $ count_arg $ seed_arg $ runs_arg $ jobs_arg
+      $ machines_arg $ machine_files_arg $ grid_arg $ shard_arg
+      $ max_shards_arg $ store_arg $ report_arg $ metrics_arg)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value & opt string "wo-serve.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Listen on 127.0.0.1:$(docv) instead of the Unix socket.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:"Exit after answering $(docv) requests (for tests).")
+  in
+  let run socket tcp max_requests store_path =
+    let server = Wo_campaign.Serve.create ~store_path in
+    let listener =
+      match tcp with
+      | Some port -> Wo_campaign.Serve.Tcp port
+      | None -> Wo_campaign.Serve.Unix_socket socket
+    in
+    (match listener with
+    | Wo_campaign.Serve.Tcp port ->
+      Printf.printf "wo serve: listening on 127.0.0.1:%d (store %s)\n%!" port
+        store_path
+    | Wo_campaign.Serve.Unix_socket path ->
+      Printf.printf "wo serve: listening on %s (store %s)\n%!" path store_path);
+    Fun.protect
+      ~finally:(fun () -> Wo_campaign.Serve.close server)
+      (fun () -> Wo_campaign.Serve.serve ~max_requests server listener);
+    Printf.printf "wo serve: %d request(s) answered\n"
+      (Wo_campaign.Serve.requests server)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve check/sweep/synth requests over a line-delimited JSON \
+          protocol against one warm verdict store")
+    Term.(const run $ socket_arg $ tcp_arg $ max_requests_arg $ store_arg)
+
 let main =
   let doc =
     "weak ordering, redefined — simulators and checkers for Adve & Hill's \
@@ -917,6 +1198,9 @@ let main =
       sweep_cmd;
       trace_cmd;
       delays_cmd;
+      synth_cmd;
+      campaign_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

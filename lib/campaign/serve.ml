@@ -1,0 +1,327 @@
+module J = Wo_obs.Json
+module L = Wo_litmus.Litmus
+module Sweep = Wo_workload.Sweep
+module Synth = Wo_synth.Synth
+
+type t = {
+  store : Store.t;
+  machines : (string, Wo_machines.Spec.t * Wo_machines.Machine.t) Hashtbl.t;
+      (* canonical spec JSON -> built machine *)
+  sc :
+    ( Digest.t,
+      (Sweep.program_key * Wo_prog.Outcome.t list) list )
+    Hashtbl.t;
+  corpus : Synth.corpus_entry list;
+      (* mutation seeds: the loop-free litmus catalogue *)
+  mutable served : int;
+}
+
+let corpus_of_catalogue () =
+  List.filter_map
+    (fun (test : L.t) ->
+      if test.L.loops then None
+      else
+        Some
+          {
+            Synth.base_name = test.L.name;
+            Synth.base_program = test.L.program;
+            Synth.base_drf0 = test.L.drf0;
+          })
+    L.all
+
+let create ~store_path =
+  {
+    store = Store.openf store_path;
+    machines = Hashtbl.create 16;
+    sc = Hashtbl.create 256;
+    corpus = corpus_of_catalogue ();
+    served = 0;
+  }
+
+let close t = Store.close t.store
+
+let requests t = t.served
+
+(* --- request plumbing ------------------------------------------------------ *)
+
+exception Bad of string
+
+let err msg = J.Obj [ ("ok", J.Bool false); ("error", J.String msg) ]
+
+let ok fields = J.Obj (("ok", J.Bool true) :: fields)
+
+let str_field req name =
+  match Option.bind (J.member name req) J.to_string_opt with
+  | Some s -> s
+  | None -> raise (Bad (Printf.sprintf "missing string field %S" name))
+
+let int_field ?default req name =
+  match Option.bind (J.member name req) J.to_int_opt with
+  | Some n -> n
+  | None -> (
+    match default with
+    | Some d -> d
+    | None -> raise (Bad (Printf.sprintf "missing int field %S" name)))
+
+let spec_field t req =
+  match J.member "spec" req with
+  | None -> raise (Bad "missing field \"spec\" (a machine-spec JSON object)")
+  | Some sj -> (
+    match Wo_machines.Spec.of_json sj with
+    | Error e -> raise (Bad ("spec: " ^ e))
+    | Ok spec ->
+      (* Canonical form: re-serialized after parsing, so two spellings of
+         the same spec share cells (and the campaign CLI keys match). *)
+      let canon = J.to_string (Wo_machines.Spec.to_json spec) in
+      (match Hashtbl.find_opt t.machines canon with
+      | Some (spec, m) -> (spec, m, canon)
+      | None ->
+        let m = Wo_machines.Spec.build spec in
+        Hashtbl.add t.machines canon (spec, m);
+        (spec, m, canon)))
+
+let synth_case t ~family ~seed =
+  match Synth.generate ~corpus:t.corpus ~family ~seed () with
+  | Ok c -> c
+  | Error e -> raise (Bad e)
+
+let sc_outcomes t (test : L.t) pkey =
+  if test.L.loops then None
+  else
+    match
+      Option.bind
+        (Hashtbl.find_opt t.sc pkey.Sweep.pk_digest)
+        (Sweep.find_keyed pkey)
+    with
+    | Some outs -> Some outs
+    | None ->
+      let outs =
+        fst (Wo_prog.Enumerate.outcomes_stateful ~domains:1 test.L.program)
+      in
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt t.sc pkey.Sweep.pk_digest)
+      in
+      Hashtbl.replace t.sc pkey.Sweep.pk_digest (prev @ [ (pkey, outs) ]);
+      Some outs
+
+(* Settle (or replay) one cell against the shared store — the same key,
+   the same verdict a campaign run would record. *)
+let check_cell t ~case ~spec_canon ~machine ~runs ~base_seed =
+  let test = Campaign.litmus_of_case case in
+  let pkey = Sweep.program_key test.L.program in
+  let key =
+    Campaign.cell_key ~program_payload:pkey.Sweep.pk_payload
+      ~spec_json:spec_canon ~runs ~base_seed
+  in
+  match Store.find t.store ~key with
+  | Some s -> (
+    match Campaign.verdict_of_string s with
+    | Ok v -> (v, true)
+    | Error e -> raise (Bad ("stored verdict unreadable: " ^ e)))
+  | None ->
+    let sc = sc_outcomes t test pkey in
+    let v = Campaign.evaluate ~runs ~base_seed ~sc_outcomes:sc machine test in
+    Store.add t.store ~key ~value:(Campaign.verdict_to_string v);
+    Store.sync t.store;
+    (v, false)
+
+let case_fields (c : Synth.case) =
+  [
+    ("case", J.String c.Synth.name);
+    ("family", J.String c.Synth.family);
+    ("class", J.String (Synth.classification_name c.Synth.classification));
+  ]
+
+(* --- the ops --------------------------------------------------------------- *)
+
+let op_list _t =
+  ok
+    [
+      ("families", J.List (List.map (fun f -> J.String f) Synth.families));
+      ( "catalogue",
+        J.List (List.map (fun (x : L.t) -> J.String x.L.name) L.all) );
+    ]
+
+let op_synth t req =
+  let family = str_field req "family" in
+  let seed = int_field req "seed" in
+  let c = synth_case t ~family ~seed in
+  ok
+    (case_fields c
+    @ [
+        ( "forbidden",
+          match c.Synth.forbidden_desc with
+          | Some d -> J.String d
+          | None -> J.Null );
+        ( "program",
+          J.String (Format.asprintf "%a" Wo_prog.Program.pp c.Synth.program)
+        );
+      ])
+
+let op_check t req =
+  let family = str_field req "family" in
+  let seed = int_field req "seed" in
+  let runs = int_field ~default:20 req "runs" in
+  let base_seed = int_field ~default:1 req "seed0" in
+  let spec, machine, canon = spec_field t req in
+  let case = synth_case t ~family ~seed in
+  let v, hit =
+    check_cell t ~case ~spec_canon:canon ~machine ~runs ~base_seed
+  in
+  ok
+    (case_fields case
+    @ [
+        ("machine", J.String spec.Wo_machines.Spec.name);
+        ("cache_hit", J.Bool hit);
+        ("verdict", Campaign.verdict_json v);
+      ])
+
+let op_sweep t req =
+  let family = str_field req "family" in
+  let seed = int_field req "seed" in
+  let count = int_field req "count" in
+  if count < 1 || count > 100_000 then raise (Bad "count out of range");
+  let runs = int_field ~default:20 req "runs" in
+  let base_seed = int_field ~default:1 req "seed0" in
+  let spec, machine, canon = spec_field t req in
+  let hits = ref 0 and failing = ref [] in
+  for s = seed to seed + count - 1 do
+    let case = synth_case t ~family ~seed:s in
+    let v, hit =
+      check_cell t ~case ~spec_canon:canon ~machine ~runs ~base_seed
+    in
+    if hit then incr hits;
+    if not v.Campaign.v_ok then failing := case.Synth.name :: !failing
+  done;
+  ok
+    [
+      ("family", J.String family);
+      ("machine", J.String spec.Wo_machines.Spec.name);
+      ("cells", J.Int count);
+      ("executed", J.Int (count - !hits));
+      ("cache_hits", J.Int !hits);
+      ("findings", J.Int (List.length !failing));
+      ( "failing",
+        J.List (List.rev_map (fun n -> J.String n) !failing) );
+    ]
+
+let op_stats t =
+  ok
+    [
+      ("requests", J.Int t.served);
+      ("store_records", J.Int (Store.length t.store));
+      ("store_path", J.String (Store.path t.store));
+      ("sc_sets", J.Int (Hashtbl.length t.sc));
+      ("machines", J.Int (Hashtbl.length t.machines));
+    ]
+
+let handle t req =
+  t.served <- t.served + 1;
+  let r = Wo_obs.Recorder.active () in
+  if Wo_obs.Recorder.enabled r then
+    Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Camp ~track:1
+      ~name:"serve.requests" ~ts:0 ~value:t.served;
+  match Option.bind (J.member "op" req) J.to_string_opt with
+  | None -> (err "missing field \"op\"", `Continue)
+  | Some op -> (
+    try
+      match op with
+      | "ping" -> (ok [ ("pong", J.Bool true) ], `Continue)
+      | "list" -> (op_list t, `Continue)
+      | "synth" -> (op_synth t req, `Continue)
+      | "check" -> (op_check t req, `Continue)
+      | "sweep" -> (op_sweep t req, `Continue)
+      | "stats" -> (op_stats t, `Continue)
+      | "shutdown" -> (ok [ ("stopping", J.Bool true) ], `Stop)
+      | other -> (err (Printf.sprintf "unknown op %S" other), `Continue)
+    with
+    | Bad msg -> (err msg, `Continue)
+    | Wo_machines.Machine.Machine_error msg ->
+      (err ("machine error: " ^ msg), `Continue))
+
+let handle_line t line =
+  match J.of_string line with
+  | Error e -> (J.to_string (err ("parse error: " ^ e)), `Continue)
+  | Ok req ->
+    let resp, ctl = handle t req in
+    (J.to_string resp, ctl)
+
+(* --- the socket loop ------------------------------------------------------- *)
+
+type listener = Unix_socket of string | Tcp of int
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* One buffered client connection: split the byte stream on newlines and
+   answer each complete line.  Returns [`Stop] if the client asked for
+   shutdown. *)
+let serve_client t fd ~budget =
+  let buf = Bytes.create 65536 in
+  let pending = Buffer.create 256 in
+  let stop = ref `Continue in
+  (try
+     let eof = ref false in
+     while (not !eof) && !stop = `Continue && !budget <> 0 do
+       let n = Unix.read fd buf 0 (Bytes.length buf) in
+       if n = 0 then eof := true
+       else begin
+         Buffer.add_subbytes pending buf 0 n;
+         let data = Buffer.contents pending in
+         Buffer.clear pending;
+         let lines = String.split_on_char '\n' data in
+         let rec go = function
+           | [] -> ()
+           | [ tail ] -> Buffer.add_string pending tail
+           | line :: rest ->
+             if !stop = `Continue && !budget <> 0 then begin
+               if String.trim line <> "" then begin
+                 let resp, ctl = handle_line t (String.trim line) in
+                 write_all fd (resp ^ "\n");
+                 if !budget > 0 then decr budget;
+                 stop := ctl
+               end;
+               go rest
+             end
+             else Buffer.add_string pending (String.concat "\n" (line :: rest))
+         in
+         go lines
+       end
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  !stop
+
+let serve ?(max_requests = -1) t listener =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  let sock, cleanup =
+    match listener with
+    | Unix_socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      (s, fun () -> try Sys.remove path with Sys_error _ -> ())
+    | Tcp port ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (s, fun () -> ())
+  in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      cleanup ())
+  @@ fun () ->
+  Unix.listen sock 64;
+  let budget = ref max_requests in
+  let stop = ref `Continue in
+  while !stop = `Continue && !budget <> 0 do
+    match Unix.accept sock with
+    | fd, _ -> stop := serve_client t fd ~budget
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,54 @@
+(** The [wo serve] front door: one warm cache, many clients.
+
+    A server owns a single open {!Store} plus an in-process SC-outcome
+    memo and a built-machine cache, and answers line-delimited JSON
+    requests — one JSON object per line in, one per line out — over a
+    Unix-domain socket or TCP.  Every [check] settles (or replays) the
+    same digest-keyed cell a campaign would, against the same store, so
+    interactive clients and batch campaigns share their work.
+
+    Protocol (requests are objects with an ["op"] field):
+
+    - [{"op":"ping"}] → [{"ok":true,"pong":true}]
+    - [{"op":"list"}] → synth families and catalogue test names
+    - [{"op":"synth","family":F,"seed":N}] → the generated case (name,
+      classification, pretty-printed program)
+    - [{"op":"check","family":F,"seed":N,"spec":S,"runs":R,"seed0":B}] →
+      the cell's verdict plus ["cache_hit"]; [spec] is a
+      {!Wo_machines.Spec} JSON value, [runs]/[seed0] default 20/1
+    - [{"op":"sweep","family":F,"seed":N,"count":K,"spec":S,...}] →
+      aggregate over [K] consecutive seeds: cells, executed, cache
+      hits, findings
+    - [{"op":"stats"}] → requests served, store records, SC sets cached
+    - [{"op":"shutdown"}] → acknowledges, then stops the server
+
+    Malformed requests answer [{"ok":false,"error":...}] and keep the
+    connection open.  Emits the [serve.requests] counter when a
+    recorder is active. *)
+
+type t
+
+val create : store_path:string -> t
+(** Open (or create) the store and warm caches lazily from it. *)
+
+val close : t -> unit
+
+val requests : t -> int
+(** Requests handled so far (any op, including malformed). *)
+
+val handle : t -> Wo_obs.Json.t -> Wo_obs.Json.t * [ `Continue | `Stop ]
+(** Answer one request — the pure core of the server, exercised
+    directly by the test suite (no sockets involved). *)
+
+val handle_line : t -> string -> string * [ `Continue | `Stop ]
+(** Parse, {!handle}, serialize (no trailing newline). *)
+
+type listener = Unix_socket of string | Tcp of int
+
+val serve : ?max_requests:int -> t -> listener -> unit
+(** Bind, listen, and answer clients until a [shutdown] request (or
+    [max_requests] answered — for tests).  Clients are served one
+    connection at a time against the shared warm cache; a client
+    closing mid-line or writing garbage never kills the server.
+    Removes a stale Unix-socket path before binding and unlinks it on
+    exit. *)

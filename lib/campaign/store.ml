@@ -1,0 +1,235 @@
+let magic = "WOCAMPS1"
+
+let header_len = 8
+
+let rec_header_len = 12
+
+(* Sanity bound on a single record: a cell verdict with a witness trace
+   is a few hundred KB at the very worst; anything larger in a length
+   field means we are reading garbage. *)
+let max_part = 1 lsl 26
+
+type entry = { e_off : int; e_klen : int; e_vlen : int }
+(* [e_off] is the offset of the key bytes (past the record header). *)
+
+type t = {
+  fd : Unix.file_descr;
+  file : string;
+  index : (string, entry list) Hashtbl.t;  (* key digest -> entries, newest first *)
+  mutable tail : int;  (* append offset = end of last complete record *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let fnv32 parts =
+  let h = ref 0x811c9dc5 in
+  List.iter
+    (fun s ->
+      String.iter
+        (fun c ->
+          h := !h lxor Char.code c;
+          h := !h * 0x01000193 land 0xffffffff)
+        s)
+    parts;
+  !h
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let really_read fd buf off len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = Unix.read fd buf (off + !got) (len - !got) in
+       if n = 0 then raise Exit;
+       got := !got + n
+     done
+   with Exit -> ());
+  !got
+
+let read_at t ~off ~len =
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let got = really_read t.fd buf 0 len in
+  if got = len then Some (Bytes.unsafe_to_string buf) else None
+
+let digest key = Digest.string key
+
+let index_add t key entry =
+  let d = digest key in
+  let prev = try Hashtbl.find t.index d with Not_found -> [] in
+  Hashtbl.replace t.index d (prev @ [ entry ]);
+  t.count <- t.count + 1
+
+(* Scan the log from the header, indexing complete records; the first
+   short or corrupt record marks the torn tail, which is truncated away
+   so future appends start from a clean boundary.  The scan is strictly
+   forward, so it streams through one reused buffer — a large store
+   opens with a handful of big sequential reads, not two positioned
+   reads per record (the warm-resume open would otherwise dominate). *)
+let scan t size =
+  let cap = 1 lsl 20 in
+  let buf = Bytes.create cap in
+  let w_off = ref header_len in  (* file offset of buf.[0] *)
+  let w_len = ref 0 in
+  ignore (Unix.lseek t.fd header_len Unix.SEEK_SET);
+  (* Make bytes [t.tail, t.tail+len) available in [buf]; strictly
+     forward, so everything before t.tail can be discarded. *)
+  let ensure len =
+    if len > cap then false
+    else begin
+      let keep = !w_off + !w_len - t.tail in
+      if keep > 0 && t.tail > !w_off then
+        Bytes.blit buf (t.tail - !w_off) buf 0 keep;
+      if t.tail >= !w_off then begin
+        w_off := t.tail;
+        w_len := max 0 keep
+      end;
+      let short = ref false in
+      while (not !short) && !w_len < len do
+        let n = Unix.read t.fd buf !w_len (cap - !w_len) in
+        if n = 0 then short := true else w_len := !w_len + n
+      done;
+      !w_len >= len
+    end
+  in
+  let get_str ~at len = Bytes.sub_string buf (at - !w_off) len in
+  let ok = ref true in
+  while !ok && t.tail + rec_header_len <= size do
+    if not (ensure rec_header_len) then ok := false
+    else begin
+      let hdr = get_str ~at:t.tail rec_header_len in
+      let klen = get_u32 hdr 0 and vlen = get_u32 hdr 4 in
+      let sum = get_u32 hdr 8 in
+      let rec_len = rec_header_len + klen + vlen in
+      if
+        klen <= 0 || klen > max_part || vlen < 0 || vlen > max_part
+        || t.tail + rec_len > size
+      then ok := false
+      else begin
+        let payload =
+          if ensure rec_len then Some (get_str ~at:(t.tail + rec_header_len) (klen + vlen))
+          else
+            (* one record larger than the streaming buffer: positioned
+               read, then re-seat the stream after it *)
+            match read_at t ~off:(t.tail + rec_header_len) ~len:(klen + vlen) with
+            | Some p ->
+              w_off := t.tail + rec_len;
+              w_len := 0;
+              ignore (Unix.lseek t.fd !w_off Unix.SEEK_SET);
+              Some p
+            | None -> None
+        in
+        match payload with
+        | None -> ok := false
+        | Some payload ->
+          let key = String.sub payload 0 klen in
+          let value = String.sub payload klen vlen in
+          if fnv32 [ key; value ] <> sum then ok := false
+          else begin
+            index_add t key
+              { e_off = t.tail + rec_header_len; e_klen = klen; e_vlen = vlen };
+            t.tail <- t.tail + rec_len
+          end
+      end
+    end
+  done;
+  if t.tail < size then begin
+    t.dropped <- size - t.tail;
+    Unix.ftruncate t.fd t.tail
+  end;
+  ignore (Unix.lseek t.fd t.tail Unix.SEEK_SET)
+
+let openf file =
+  let fd = Unix.openfile file [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let t =
+    { fd; file; index = Hashtbl.create 4096; tail = header_len; count = 0;
+      dropped = 0 }
+  in
+  if size = 0 then begin
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let n = Unix.write_substring fd magic 0 header_len in
+    if n <> header_len then failwith "campaign store: short header write"
+  end
+  else begin
+    (match read_at t ~off:0 ~len:header_len with
+    | Some m when m = magic -> ()
+    | _ ->
+      Unix.close fd;
+      failwith
+        (Printf.sprintf "campaign store %s: not a WOCAMPS1 log" file));
+    scan t size
+  end;
+  t
+
+let close t = Unix.close t.fd
+
+let path t = t.file
+
+let length t = t.count
+
+let tail_dropped t = t.dropped
+
+let find_entry t ~key =
+  match Hashtbl.find_opt t.index (digest key) with
+  | None -> None
+  | Some entries ->
+    List.find_opt
+      (fun e ->
+        match read_at t ~off:e.e_off ~len:e.e_klen with
+        | Some k -> String.equal k key
+        | None -> false)
+      entries
+
+let find t ~key =
+  match find_entry t ~key with
+  | None -> None
+  | Some e -> read_at t ~off:(e.e_off + e.e_klen) ~len:e.e_vlen
+
+let mem t ~key = find_entry t ~key <> None
+
+let add t ~key ~value =
+  let b = Buffer.create (rec_header_len + String.length key + String.length value) in
+  put_u32 b (String.length key);
+  put_u32 b (String.length value);
+  put_u32 b (fnv32 [ key; value ]);
+  Buffer.add_string b key;
+  Buffer.add_string b value;
+  let s = Buffer.contents b in
+  ignore (Unix.lseek t.fd t.tail Unix.SEEK_SET);
+  let n = Unix.write_substring t.fd s 0 (String.length s) in
+  if n <> String.length s then failwith "campaign store: short record write";
+  index_add t key
+    {
+      e_off = t.tail + rec_header_len;
+      e_klen = String.length key;
+      e_vlen = String.length value;
+    };
+  t.tail <- t.tail + String.length s
+
+let sync t = Unix.fsync t.fd
+
+let iter t f =
+  (* Log order: collect entries and sort by offset. *)
+  let all = ref [] in
+  Hashtbl.iter (fun _ es -> all := es @ !all) t.index;
+  let sorted = List.sort (fun a b -> compare a.e_off b.e_off) !all in
+  List.iter
+    (fun e ->
+      match
+        ( read_at t ~off:e.e_off ~len:e.e_klen,
+          read_at t ~off:(e.e_off + e.e_klen) ~len:e.e_vlen )
+      with
+      | Some key, Some value -> f ~key ~value
+      | _ -> ())
+    sorted

@@ -1,0 +1,72 @@
+(** The cross-run persistent verdict store.
+
+    An append-only binary log plus an in-memory digest index, promoting
+    {!Wo_workload.Sweep}'s in-run SC memoization to something that
+    survives the process: once a (program encoding, machine-spec JSON,
+    seed) triple is settled, no future campaign re-runs it.
+
+    {2 On-disk format (version 1)}
+
+    {v
+    "WOCAMPS1"                                 8-byte magic + version
+    record*                                    append-only
+    v}
+
+    Each record is
+
+    {v
+    u32le key_len | u32le value_len | u32le checksum | key | value
+    v}
+
+    with the checksum FNV-1a (32-bit) over key then value bytes.  Keys
+    and values are opaque byte strings; the campaign layer packs
+    structured keys itself ({!Campaign}).
+
+    {2 Crash safety}
+
+    Records are appended with a single [write]; a process killed
+    mid-append (kill -9) leaves at most one torn record at the tail.
+    {!openf} scans the log, indexes every complete record, stops at the
+    first short or checksum-failing one and truncates the file there —
+    so a crashed campaign loses only its in-flight shard and a resumed
+    one skips everything settled.  {!sync} forces the log to stable
+    storage (machine-crash durability; process crashes need nothing).
+
+    The index maps the 16-byte digest of each key to its log offset;
+    lookups confirm the full key bytes from disk, so a digest collision
+    can never alias two distinct triples.  One process owns a store at
+    a time (the campaign driver or the [wo serve] daemon). *)
+
+type t
+
+val openf : string -> t
+(** Open (creating if absent) the log at a path, scan and index it,
+    and truncate any torn tail.
+    @raise Sys_error on unopenable paths
+    @raise Failure on a foreign magic number *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val length : t -> int
+(** Complete records indexed. *)
+
+val tail_dropped : t -> int
+(** Bytes of torn tail discarded by {!openf} (0 on a clean log). *)
+
+val find : t -> key:string -> string option
+(** The value of the first record with exactly this key. *)
+
+val mem : t -> key:string -> bool
+
+val add : t -> key:string -> value:string -> unit
+(** Append a record and index it.  The store is append-only: adding an
+    existing key appends a duplicate record, but {!find} keeps
+    returning the first — settled verdicts are immutable. *)
+
+val sync : t -> unit
+(** [fsync] the log (call once per shard, not per record). *)
+
+val iter : t -> (key:string -> value:string -> unit) -> unit
+(** Every indexed record in log order (reads from disk). *)

@@ -1,77 +1,7 @@
-module I = Wo_prog.Instr
+(* Thin aliases: the implementations moved to Wo_synth.Synth (PR 7), the
+   one seeded generation surface.  Kept so the historical entry points —
+   and every (seed, params) program they ever named — stay valid. *)
 
-(* Register map per thread: r0..r3 observable accumulators, r4/r5 lock
-   scratch. *)
-let acc_regs = [ 0; 1; 2; 3 ]
+let lock_disciplined = Wo_synth.Synth.lock_disciplined
 
-let lock_disciplined ~seed ?(procs = 3) ?(sections_per_proc = 3)
-    ?(ops_per_section = 4) ?(shared_locs = 2) ?(locks = 2) () =
-  let rng = Wo_sim.Rng.make seed in
-  (* Locations: locks first, then the shared data they guard.  Each shared
-     location is guarded by lock (loc mod locks): a thread may only touch
-     it while holding that lock. *)
-  let lock_of_data d = d mod locks in
-  let data_loc d = locks + d in
-  let thread _p =
-    List.concat
-      (List.init sections_per_proc (fun _ ->
-           let lock = Wo_sim.Rng.int rng locks in
-           let guarded =
-             List.filter (fun d -> lock_of_data d = lock)
-               (List.init shared_locs (fun d -> d))
-           in
-           let body =
-             if guarded = [] then [ I.Nop ]
-             else
-               List.init ops_per_section (fun _ ->
-                   let d = Wo_sim.Rng.pick rng guarded in
-                   let loc = data_loc d in
-                   if Wo_sim.Rng.bool rng then
-                     I.Read (Wo_sim.Rng.pick rng acc_regs, loc)
-                   else
-                     I.Write
-                       ( loc,
-                         I.Add
-                           ( I.Reg (Wo_sim.Rng.pick rng acc_regs),
-                             I.Const (Wo_sim.Rng.int rng 100) ) ))
-           in
-           Wo_prog.Snippets.critical_section ~lock ~scratch:4
-             ~use_ttas:(Wo_sim.Rng.bool rng) ~scratch2:5 body))
-  in
-  let threads = List.init procs thread in
-  let observable =
-    List.concat_map (fun p -> List.map (fun r -> (p, r)) acc_regs)
-      (List.init procs (fun p -> p))
-  in
-  Wo_prog.Program.make
-    ~name:(Printf.sprintf "lock-disciplined-%d" seed)
-    ~observable threads
-
-let racy ~seed ?(procs = 2) ?(ops_per_proc = 4) ?(locs = 3) () =
-  let rng = Wo_sim.Rng.make seed in
-  (* Warm every location into every cache first (reads into a scratch
-     register excluded from the outcome), so the cached machines race with
-     shared copies resident -- the situation Figure 1 describes.  The
-     warm-up reads are separated from the racy section by local delay
-     only; they race too, but since the observable outcome ignores them
-     the SC comparison is unaffected (the warm-up reads' locations are
-     read again or overwritten later). *)
-  let warmup =
-    List.init locs (fun loc -> I.Read (5, loc)) @ List.init 12 (fun _ -> I.Nop)
-  in
-  let thread _p =
-    warmup
-    @ List.init ops_per_proc (fun _ ->
-          let loc = Wo_sim.Rng.int rng locs in
-          if Wo_sim.Rng.bool rng then I.Read (Wo_sim.Rng.int rng 4, loc)
-          else I.Write (loc, I.Const (1 + Wo_sim.Rng.int rng 9)))
-  in
-  let observable =
-    List.concat_map
-      (fun p -> List.map (fun r -> (p, r)) [ 0; 1; 2; 3 ])
-      (List.init procs (fun p -> p))
-  in
-  Wo_prog.Program.make
-    ~name:(Printf.sprintf "racy-%d" seed)
-    ~observable
-    (List.init procs thread)
+let racy = Wo_synth.Synth.racy

@@ -1,5 +1,10 @@
 (** Random program generation for the Definition-2 compliance harness.
 
+    Thin aliases of {!Wo_synth.Synth.lock_disciplined} and
+    {!Wo_synth.Synth.racy} — all seeded generation now lives behind that
+    one surface; these entry points remain because a (seed, params) pair
+    names the same program it always did.
+
     [lock_disciplined] programs access shared locations only inside
     critical sections of per-location locks, so they obey DRF0 by
     construction (the test suite cross-checks a sample with the dynamic

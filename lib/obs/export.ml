@@ -4,6 +4,7 @@ let cat_pid = function
   | Recorder.Dir -> 3
   | Recorder.Net -> 4
   | Recorder.Enum -> 5
+  | Recorder.Camp -> 6
 
 let track_label cat track =
   match cat with
@@ -12,9 +13,17 @@ let track_label cat track =
   | Recorder.Dir -> Printf.sprintf "line %d" track
   | Recorder.Net -> if track = 0 then "fabric" else Printf.sprintf "link %d" track
   | Recorder.Enum -> Printf.sprintf "domain %d" track
+  | Recorder.Camp -> Printf.sprintf "shard %d" track
 
 let all_categories =
-  [ Recorder.Proc; Recorder.Cache; Recorder.Dir; Recorder.Net; Recorder.Enum ]
+  [
+    Recorder.Proc;
+    Recorder.Cache;
+    Recorder.Dir;
+    Recorder.Net;
+    Recorder.Enum;
+    Recorder.Camp;
+  ]
 
 let base name cat track ts ph =
   [

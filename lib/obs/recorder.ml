@@ -1,4 +1,4 @@
-type category = Proc | Cache | Dir | Net | Enum
+type category = Proc | Cache | Dir | Net | Enum | Camp
 
 let category_name = function
   | Proc -> "proc"
@@ -6,6 +6,7 @@ let category_name = function
   | Dir -> "dir"
   | Net -> "net"
   | Enum -> "enum"
+  | Camp -> "campaign"
 
 type event =
   | Span of { name : string; cat : category; track : int; ts : int; dur : int }

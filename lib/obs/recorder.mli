@@ -19,9 +19,10 @@ type category =
   | Dir  (** directory: protocol transactions *)
   | Net  (** interconnect: message transits *)
   | Enum  (** enumerator progress *)
+  | Camp  (** litmus synthesis, campaign engine, serve front door *)
 
 val category_name : category -> string
-(** ["proc"], ["cache"], ["dir"], ["net"], ["enum"]. *)
+(** ["proc"], ["cache"], ["dir"], ["net"], ["enum"], ["campaign"]. *)
 
 type event =
   | Span of { name : string; cat : category; track : int; ts : int; dur : int }

@@ -1,0 +1,254 @@
+module I = Wo_prog.Instr
+module P = Wo_prog.Program
+
+type kind = Reorder | Weaken | Strengthen | Merge_locs
+
+let kind_name = function
+  | Reorder -> "reorder"
+  | Weaken -> "weaken"
+  | Strengthen -> "strengthen"
+  | Merge_locs -> "merge-locs"
+
+type application = { kind : kind; detail : string }
+
+(* --- instruction tree helpers -------------------------------------------- *)
+
+let rec expr_regs acc = function
+  | I.Const _ -> acc
+  | I.Reg r -> r :: acc
+  | I.Add (a, b) | I.Sub (a, b) | I.Mul (a, b) -> expr_regs (expr_regs acc a) b
+
+(* Registers an instruction reads or writes (top-level shapes only; the
+   swap candidates below never include control flow). *)
+let instr_regs = function
+  | I.Read (r, _) | I.Sync_read (r, _) | I.Test_and_set (r, _) -> [ r ]
+  | I.Write (_, e) | I.Sync_write (_, e) -> expr_regs [] e
+  | I.Fetch_and_add (r, _, e) -> r :: expr_regs [] e
+  | I.Assign (r, e) -> r :: expr_regs [] e
+  | I.If _ | I.While _ | I.Nop | I.Fence -> []
+
+let instr_loc = function
+  | I.Read (_, l) | I.Sync_read (_, l) | I.Test_and_set (_, l)
+  | I.Write (l, _) | I.Sync_write (l, _) | I.Fetch_and_add (_, l, _) ->
+    Some l
+  | I.Assign _ | I.If _ | I.While _ | I.Nop | I.Fence -> None
+
+(* A swap candidate: plain data / local ops only, so each access keeps
+   its position relative to every synchronization operation and fence. *)
+let swappable = function
+  | I.Read _ | I.Write _ | I.Assign _ | I.Nop -> true
+  | _ -> false
+
+let independent a b =
+  let disjoint l1 l2 = not (List.exists (fun x -> List.mem x l2) l1) in
+  (match (instr_loc a, instr_loc b) with
+  | Some la, Some lb -> la <> lb
+  | _ -> true)
+  && disjoint (instr_regs a) (instr_regs b)
+
+(* Deep rewrite with a site counter: [f] sees every instruction
+   (recursing through If/While bodies) and returns [Some instr'] to
+   rewrite a site it accepts; [select] picks which accepted site. *)
+let rewrite_nth ~select f thread =
+  let count = ref 0 in
+  let rec go instrs =
+    List.map
+      (fun instr ->
+        match f instr with
+        | Some instr' ->
+          let here = !count in
+          incr count;
+          if here = select then instr' else recurse instr
+        | None -> recurse instr)
+      instrs
+  and recurse = function
+    | I.If (c, t, e) -> I.If (c, go t, go e)
+    | I.While (c, b) -> I.While (c, go b)
+    | instr -> instr
+  in
+  let out = go thread in
+  (out, !count)
+
+let count_sites f thread =
+  let n = ref 0 in
+  let rec go instrs =
+    List.iter
+      (fun instr ->
+        (match f instr with Some _ -> incr n | None -> ());
+        match instr with
+        | I.If (_, t, e) ->
+          go t;
+          go e
+        | I.While (_, b) -> go b
+        | _ -> ())
+      instrs
+  in
+  go thread;
+  !n
+
+let weaken_site = function
+  | I.Sync_read (r, l) -> Some (I.Read (r, l))
+  | I.Sync_write (l, e) -> Some (I.Write (l, e))
+  | _ -> None
+
+let strengthen_site = function
+  | I.Read (r, l) -> Some (I.Sync_read (r, l))
+  | I.Write (l, e) -> Some (I.Sync_write (l, e))
+  | _ -> None
+
+let rec rename_expr _ e = e
+
+and rename_instr ~from_ ~to_ instr =
+  let loc l = if l = from_ then to_ else l in
+  match instr with
+  | I.Read (r, l) -> I.Read (r, loc l)
+  | I.Sync_read (r, l) -> I.Sync_read (r, loc l)
+  | I.Test_and_set (r, l) -> I.Test_and_set (r, loc l)
+  | I.Write (l, e) -> I.Write (loc l, rename_expr () e)
+  | I.Sync_write (l, e) -> I.Sync_write (loc l, rename_expr () e)
+  | I.Fetch_and_add (r, l, e) -> I.Fetch_and_add (r, loc l, rename_expr () e)
+  | I.Assign (r, e) -> I.Assign (r, e)
+  | I.If (c, t, e) ->
+    I.If (c, List.map (rename_instr ~from_ ~to_) t,
+          List.map (rename_instr ~from_ ~to_) e)
+  | I.While (c, b) -> I.While (c, List.map (rename_instr ~from_ ~to_) b)
+  | (I.Nop | I.Fence) as i -> i
+
+(* Locations any synchronization operation (or atomic RMW) touches,
+   anywhere in the program — merging those would corrupt lock/barrier
+   protocols, so Merge_locs avoids them. *)
+let sync_locs (p : P.t) =
+  let acc = ref [] in
+  let rec go instrs =
+    List.iter
+      (fun instr ->
+        (match instr with
+        | I.Sync_read (_, l) | I.Sync_write (l, _) | I.Test_and_set (_, l)
+        | I.Fetch_and_add (_, l, _) ->
+          acc := l :: !acc
+        | _ -> ());
+        match instr with
+        | I.If (_, t, e) ->
+          go t;
+          go e
+        | I.While (_, b) -> go b
+        | _ -> ())
+      instrs
+  in
+  Array.iter go p.P.threads;
+  List.sort_uniq compare !acc
+
+(* --- the operators -------------------------------------------------------- *)
+
+let try_reorder rng (p : P.t) =
+  (* Candidate swap positions: (thread, index of the left element of an
+     adjacent independent pair), top level only. *)
+  let pairs_of t =
+    let rec go i acc = function
+      | a :: (b :: _ as rest) ->
+        let acc =
+          if swappable a && swappable b && independent a b then i :: acc
+          else acc
+        in
+        go (i + 1) acc rest
+      | _ -> List.rev acc
+    in
+    go 0 [] t
+  in
+  let candidates =
+    List.concat
+      (List.init (Array.length p.P.threads) (fun t ->
+           List.map (fun i -> (t, i)) (pairs_of p.P.threads.(t))))
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let t, i = Wo_sim.Rng.pick rng candidates in
+    let rec swap j = function
+      | a :: b :: rest when j = i -> b :: a :: rest
+      | a :: rest -> a :: swap (j + 1) rest
+      | [] -> []
+    in
+    let threads = Array.copy p.P.threads in
+    threads.(t) <- swap 0 threads.(t);
+    Some
+      ( { p with P.threads },
+        { kind = Reorder; detail = Printf.sprintf "P%d@%d" t i } )
+
+let try_rewrite rng kind site_fn (p : P.t) =
+  let per_thread =
+    Array.map (fun t -> count_sites site_fn t) p.P.threads
+  in
+  let total = Array.fold_left ( + ) 0 per_thread in
+  if total = 0 then None
+  else begin
+    let global = Wo_sim.Rng.int rng total in
+    (* Locate the thread owning site [global]. *)
+    let t = ref 0 and before = ref 0 in
+    while !before + per_thread.(!t) <= global do
+      before := !before + per_thread.(!t);
+      incr t
+    done;
+    let select = global - !before in
+    let thread', _ = rewrite_nth ~select site_fn p.P.threads.(!t) in
+    let threads = Array.copy p.P.threads in
+    threads.(!t) <- thread';
+    Some
+      ( { p with P.threads },
+        { kind; detail = Printf.sprintf "P%d#%d" !t select } )
+  end
+
+let try_merge rng (p : P.t) =
+  let sync = sync_locs p in
+  let data =
+    List.filter (fun l -> not (List.mem l sync)) (P.locs p)
+  in
+  match data with
+  | _ :: _ :: _ ->
+    let from_ = Wo_sim.Rng.pick rng data in
+    let to_ = Wo_sim.Rng.pick rng (List.filter (fun l -> l <> from_) data) in
+    let threads =
+      Array.map (List.map (rename_instr ~from_ ~to_)) p.P.threads
+    in
+    (* The merged location inherits the target's initial value; the
+       source's entry (if any) disappears with the location. *)
+    let initial = List.filter (fun (l, _) -> l <> from_) p.P.initial in
+    Some
+      ( { p with P.threads; P.initial },
+        { kind = Merge_locs; detail = Printf.sprintf "%d->%d" from_ to_ } )
+  | _ -> None
+
+let mutate ~rng ?mutations (p : P.t) =
+  let n =
+    match mutations with Some n -> max 1 n | None -> Wo_sim.Rng.int_in rng 1 3
+  in
+  let apply p = function
+    | Reorder -> try_reorder rng p
+    | Weaken -> try_rewrite rng Weaken weaken_site p
+    | Strengthen -> try_rewrite rng Strengthen strengthen_site p
+    | Merge_locs -> try_merge rng p
+  in
+  let rec go p acc i =
+    if i = n then (p, List.rev acc)
+    else
+      let kind =
+        Wo_sim.Rng.pick rng [ Reorder; Weaken; Strengthen; Merge_locs ]
+      in
+      match apply p kind with
+      | Some (p', app) -> go p' (app :: acc) (i + 1)
+      | None -> go p acc (i + 1)
+  in
+  go p [] 0
+
+let transfer ~base_drf0 apps =
+  let step cls (app : application) =
+    match (app.kind, cls) with
+    | Reorder, c -> c
+    | Weaken, `Drf0 -> `Unknown
+    | Weaken, c -> c
+    | Strengthen, `Racy -> `Unknown
+    | Strengthen, c -> c
+    | Merge_locs, `Drf0 -> `Unknown
+    | Merge_locs, c -> c
+  in
+  List.fold_left step (if base_drf0 then `Drf0 else `Racy) apps

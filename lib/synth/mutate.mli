@@ -1,0 +1,46 @@
+(** Mutation of existing litmus programs.
+
+    The snippet corpus is small and hand-polished; mutation multiplies
+    it into neighbouring scenarios while tracking what each operator
+    does to the DRF0-by-construction guarantee:
+
+    - {!Reorder}: swap two adjacent, top-level data/local instructions
+      of one thread (never synchronization, fences or control flow).
+      Every access keeps its position relative to the surrounding
+      synchronization, so cross-thread happens-before orderings — and
+      hence the program's race-freedom class — are preserved.
+    - {!Weaken}: demote one [Sync_read]/[Sync_write] to its plain
+      counterpart.  Removes happens-before edges: a racy program stays
+      racy, a race-free one may no longer be.
+    - {!Strengthen}: promote one [Read]/[Write] to its synchronizing
+      counterpart.  Adds happens-before edges: a race-free program
+      stays race-free, a racy one may be repaired.
+    - {!Merge_locs}: rename one data location onto another (both
+      chosen among locations no synchronization operation touches).
+      Creates new conflicts; can only add races.
+
+    Operators never change the number of memory accesses per thread
+    wildly or introduce loops, so mutants of loop-free programs remain
+    enumerable. *)
+
+type kind = Reorder | Weaken | Strengthen | Merge_locs
+
+val kind_name : kind -> string
+
+type application = { kind : kind; detail : string }
+
+val mutate :
+  rng:Wo_sim.Rng.t ->
+  ?mutations:int ->
+  Wo_prog.Program.t ->
+  Wo_prog.Program.t * application list
+(** Apply [mutations] (default: 1-3, drawn from [rng]) operators drawn
+    uniformly among those applicable; operators with no applicable site
+    are skipped, so the returned list may be shorter (possibly empty
+    for programs offering no sites at all).  Deterministic in the rng
+    state. *)
+
+val transfer :
+  base_drf0:bool -> application list -> [ `Drf0 | `Racy | `Unknown ]
+(** What the applied mutations do to the base program's classification
+    ([base_drf0 = true]: DRF0 by construction; [false]: racy). *)

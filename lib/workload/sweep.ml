@@ -97,33 +97,60 @@ let key_equal a b =
 let find_keyed key table =
   List.find_map (fun (k, v) -> if key_equal k key then Some v else None) table
 
-let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
+(* Digest-indexed map over program keys: O(1) per lookup where the assoc
+   list [find_keyed] walked (and payload-compared) every binding.  A
+   digest hit still confirms the full payload, so collisions cannot
+   alias. *)
+module Key_tbl = struct
+  type 'a t = (Digest.t, (program_key * 'a) list) Hashtbl.t
+
+  let create n : 'a t = Hashtbl.create n
+
+  let find (t : 'a t) key =
+    match Hashtbl.find_opt t key.pk_digest with
+    | None -> None
+    | Some bindings -> find_keyed key bindings
+
+  let add (t : 'a t) key v =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t key.pk_digest) in
+    Hashtbl.replace t key.pk_digest (prev @ [ (key, v) ])
+end
+
+let key_tests tests =
+  List.map
+    (fun (t : Wo_litmus.Litmus.t) -> (t, program_key t.Wo_litmus.Litmus.program))
+    tests
+
+let litmus_campaign_keyed ?runs ?base_seed ?domains ~machines keyed =
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
   (* Phase 1: one SC enumeration per distinct loop-free program, fanned
-     out, then frozen into a lookup table every cell reads. *)
-  let keyed =
-    List.map
-      (fun (t : Wo_litmus.Litmus.t) ->
-        (t, program_key t.Wo_litmus.Litmus.program))
-      tests
-  in
+     out, then frozen into a digest-indexed table every cell reads.  The
+     keys arrive precomputed — one compiled canonical encoding per
+     program, built exactly once and threaded through both phases. *)
+  let seen : unit Key_tbl.t = Key_tbl.create 64 in
   let distinct =
-    List.fold_left
-      (fun acc (t, key) ->
-        if t.Wo_litmus.Litmus.loops || find_keyed key acc <> None then acc
-        else (key, t) :: acc)
-      [] keyed
-    |> List.rev
+    List.filter
+      (fun ((t : Wo_litmus.Litmus.t), key) ->
+        if t.Wo_litmus.Litmus.loops || Key_tbl.find seen key <> None then false
+        else begin
+          Key_tbl.add seen key ();
+          true
+        end)
+      keyed
   in
-  let sc_table =
+  let sc_list =
     parallel_map ~domains:d
-      (fun (key, (t : Wo_litmus.Litmus.t)) ->
+      (fun ((t : Wo_litmus.Litmus.t), key) ->
         ( key,
           fst
             (Wo_prog.Enumerate.outcomes_stateful ~domains:1
                t.Wo_litmus.Litmus.program) ))
       distinct
   in
+  let sc_table : Wo_prog.Outcome.t list Key_tbl.t =
+    Key_tbl.create (List.length sc_list)
+  in
+  List.iter (fun (key, outs) -> Key_tbl.add sc_table key outs) sc_list;
   (* Phase 2: the test × machine product, each cell an independent
      seeded simulation batch. *)
   let jobs =
@@ -133,7 +160,7 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
   let cells =
     parallel_map ~domains:d
       (fun ((t : Wo_litmus.Litmus.t), key, (m : Wo_machines.Machine.t)) ->
-        let sc_outcomes = find_keyed key sc_table in
+        let sc_outcomes = Key_tbl.find sc_table key in
         let report =
           Wo_litmus.Runner.run ?runs ?base_seed ?sc_outcomes m t
         in
@@ -151,20 +178,27 @@ let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
         })
       jobs
   in
+  let loop_free =
+    List.length
+      (List.filter
+         (fun ((t : Wo_litmus.Litmus.t), _) -> not t.Wo_litmus.Litmus.loops)
+         keyed)
+  in
   {
     cells;
     domains_used = d;
     sc_sets = List.length distinct;
-    sc_reused =
-      List.length
-        (List.filter (fun (_, k, _) -> find_keyed k sc_table <> None) jobs)
-      - List.length distinct;
+    sc_reused = (loop_free * List.length machines) - List.length distinct;
   }
 
-let spec_campaign ?runs ?base_seed ?domains ~specs tests =
-  litmus_campaign ?runs ?base_seed ?domains
+let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
+  litmus_campaign_keyed ?runs ?base_seed ?domains ~machines (key_tests tests)
+
+let spec_campaign ?runs ?base_seed ?domains ?keyed ~specs tests =
+  let keyed = match keyed with Some k -> k | None -> key_tests tests in
+  litmus_campaign_keyed ?runs ?base_seed ?domains
     ~machines:(List.map Wo_machines.Spec.build specs)
-    tests
+    keyed
 
 let failures c = List.filter (fun cell -> not cell.ok) c.cells
 

@@ -35,6 +35,13 @@ val program_key : Wo_prog.Program.t -> program_key
 val find_keyed : program_key -> (program_key * 'a) list -> 'a option
 (** First binding whose key is {e fully} equal (digest and payload). *)
 
+val key_tests :
+  Wo_litmus.Litmus.t list -> (Wo_litmus.Litmus.t * program_key) list
+(** One {!program_key} per test, each compiled canonical encoding built
+    exactly once — thread the result through {!litmus_campaign_keyed} /
+    {!spec_campaign} (and the campaign engine's persistent store) instead
+    of re-deriving keys per phase. *)
+
 (** {1 Litmus campaigns} *)
 
 type litmus_cell = {
@@ -66,19 +73,35 @@ val litmus_campaign :
 (** Run every test on every machine ([runs] seeded runs each, defaults
     as {!Wo_litmus.Runner.run}).  SC outcome sets are enumerated once
     per distinct program — in parallel — then shared read-only by all
-    cells. *)
+    cells through a digest-indexed table (payload-confirmed, so a
+    digest collision cannot alias two programs). *)
+
+val litmus_campaign_keyed :
+  ?runs:int ->
+  ?base_seed:int ->
+  ?domains:int ->
+  machines:Wo_machines.Machine.t list ->
+  (Wo_litmus.Litmus.t * program_key) list ->
+  litmus_campaign
+(** {!litmus_campaign} with the program keys supplied by the caller
+    (see {!key_tests}): the canonical encoding behind each key is
+    computed once and reused for SC memoization — and, in the campaign
+    engine, for the persistent store key — instead of being re-digested
+    per layer. *)
 
 val spec_campaign :
   ?runs:int ->
   ?base_seed:int ->
   ?domains:int ->
+  ?keyed:(Wo_litmus.Litmus.t * program_key) list ->
   specs:Wo_machines.Spec.t list ->
   Wo_litmus.Litmus.t list ->
   litmus_campaign
 (** {!litmus_campaign} over machines defined as data: every spec is
     built with {!Wo_machines.Spec.build} and swept against every test.
-    Compose with {!Wo_machines.Spec.grid} to sweep a fabric × sync-policy
-    cross product of one base machine. *)
+    [keyed] (default: [key_tests tests]) supplies precomputed program
+    keys.  Compose with {!Wo_machines.Spec.grid} to sweep a fabric ×
+    sync-policy cross product of one base machine. *)
 
 val failures : litmus_campaign -> litmus_cell list
 (** Cells whose SC promise was broken (the CI contract: must be []). *)

@@ -31,4 +31,6 @@ let () =
       ("cross-check", Test_cross_check.tests);
       ("report", Test_report.tests);
       ("obs", Test_obs.tests);
+      ("synth", Test_synth.tests);
+      ("campaign", Test_campaign.tests);
     ]
