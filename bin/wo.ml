@@ -903,19 +903,10 @@ let delays_cmd =
 
 (* --- wo synth / wo campaign / wo serve -------------------------------------- *)
 
-(* The mutation corpus: every loop-free catalogued test. *)
-let synth_corpus () =
-  List.filter_map
-    (fun (t : L.t) ->
-      if t.L.loops then None
-      else
-        Some
-          {
-            Wo_synth.Synth.base_name = t.L.name;
-            Wo_synth.Synth.base_program = t.L.program;
-            Wo_synth.Synth.base_drf0 = t.L.drf0;
-          })
-    L.all
+(* The mutation corpus: every loop-free catalogued test (shared with the
+   campaign and serve layers — and with worker processes, which must
+   regenerate the coordinator's exact case list). *)
+let synth_corpus = Wo_campaign.Campaign.catalogue_corpus
 
 let family_doc =
   Printf.sprintf "Generator family; one of: %s."
@@ -1047,8 +1038,84 @@ let campaign_cmd =
       & info [ "report" ] ~docv:"FILE"
           ~doc:"Also write the findings report to $(docv).")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Fork $(docv) local worker processes that claim shards via the \
+             campaign directory ($(b,<store>.campaign/)); $(b,0) runs \
+             single-process.  More workers can join from other hosts with \
+             $(b,--worker) against a shared directory.")
+  in
+  let worker_arg =
+    Arg.(
+      value & flag
+      & info [ "worker" ]
+          ~doc:
+            "Run as a worker process: attach to the existing campaign \
+             directory next to $(b,--store), claim and settle shards until \
+             none are claimable, then exit.  Campaign parameters come from \
+             the coordinator's manifest, not the command line.")
+  in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Emit a progress line per shard: shards done/total, cells \
+             settled, cache hits, ETA.")
+  in
+  let auto_compact_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "auto-compact" ] ~docv:"FRAC"
+          ~doc:
+            "Compact the store after a complete run when at least this \
+             fraction of its records are superseded duplicates (e.g. \
+             re-settled shards merged from a killed worker's segment); \
+             negative disables.")
+  in
+  let print_compacted = function
+    | None -> ()
+    | Some cs ->
+      Printf.printf
+        "store compacted: %d -> %d records, %d -> %d bytes (%.2fx)\n"
+        cs.Wo_campaign.Store.cs_before_records
+        cs.Wo_campaign.Store.cs_after_records
+        cs.Wo_campaign.Store.cs_before_bytes cs.Wo_campaign.Store.cs_after_bytes
+        (float_of_int cs.Wo_campaign.Store.cs_before_bytes
+        /. float_of_int (max 1 cs.Wo_campaign.Store.cs_after_bytes))
+  in
+  let run_as_worker ~store_path ~jobs ~progress =
+    let co =
+      try Wo_campaign.Coordinator.attach ~store_path
+      with Failure e | Sys_error e ->
+        prerr_endline ("wo campaign --worker: " ^ e);
+        exit 1
+    in
+    let pid = Unix.getpid () in
+    let on_shard =
+      if progress then
+        Some
+          (fun ~shard ~executed ~replayed ->
+            Printf.printf "worker %d: shard %d done (%d settled, %d replayed)\n%!"
+              pid shard executed replayed)
+      else None
+    in
+    let stats =
+      Wo_campaign.Coordinator.run_worker ~domains:(max 1 jobs) ?on_shard co
+    in
+    Printf.printf "worker %d: %d shard(s) claimed, %d cell(s) settled, %d replayed\n"
+      pid stats.Wo_campaign.Coordinator.w_claimed
+      stats.Wo_campaign.Coordinator.w_executed
+      stats.Wo_campaign.Coordinator.w_replayed
+  in
   let run families count seed runs jobs machine_names machine_files grid shard
-      max_shards store_path report metrics =
+      max_shards store_path report metrics workers worker progress auto_compact
+      =
+    if worker then run_as_worker ~store_path ~jobs ~progress
+    else begin
     let specs =
       List.map (fun n -> or_die (get_spec n)) machine_names
       @ List.map (fun f -> or_die (load_spec f)) machine_files
@@ -1077,6 +1144,7 @@ let campaign_cmd =
         shard;
         max_shards;
         store_path;
+        auto_compact = (if auto_compact < 0. then None else Some auto_compact);
       }
     in
     Printf.printf "campaign: %d cases x %d machines = %d cells (store %s)\n%!"
@@ -1087,8 +1155,87 @@ let campaign_cmd =
     let shards_total =
       (List.length cases * List.length specs + shard - 1) / max 1 shard
     in
-    let on_shard ~shard ~settled:_ ~executed ~total =
-      if shard mod 50 = 0 || shard = shards_total - 1 then
+    let eta_of ~done_ ~total =
+      if done_ = 0 then 0.
+      else
+        (Unix.gettimeofday () -. t0) /. float_of_int done_
+        *. float_of_int (total - done_)
+    in
+    (* Multi-process: publish the manifest, fork the workers (before
+       anything spawns a domain), supervise to completion, merge the
+       segments, then replay the merged store for the report — the
+       byte-identity path shared with single-process runs. *)
+    if workers > 0 then begin
+      (match max_shards with
+      | Some _ ->
+        prerr_endline "wo campaign: --max-shards is ignored with --workers"
+      | None -> ());
+      let config = { config with Wo_campaign.Campaign.max_shards = None } in
+      let co =
+        Wo_campaign.Coordinator.create config ~specs ~families ~count
+      in
+      Printf.printf "  %d shard(s), %d worker process(es), dir %s.campaign\n%!"
+        (Wo_campaign.Coordinator.shards co)
+        workers store_path;
+      let pids =
+        Wo_campaign.Coordinator.spawn_local ~domains:(max 1 jobs) ~workers co
+      in
+      let last = ref (-1) in
+      let on_progress ~done_ ~total =
+        if progress && done_ <> !last then begin
+          last := done_;
+          Printf.printf "  shards %d/%d settled, ETA %.0fs\n%!" done_ total
+            (eta_of ~done_ ~total)
+        end
+      in
+      Wo_campaign.Coordinator.supervise ~on_progress co pids;
+      let segs, appended = Wo_campaign.Coordinator.merge co in
+      Printf.printf "  merged %d segment(s): %d record(s) appended\n%!" segs
+        appended;
+      (* Warm replay over the merged store: executed is 0, and the
+         findings report is byte-identical to a single-process run's. *)
+      let result = Wo_campaign.Campaign.run config ~specs ~cases in
+      Wo_campaign.Coordinator.cleanup co;
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "settled %d cell(s) across %d worker(s) in %.2fs (%d replayed from \
+         the store)\n"
+        appended workers wall
+        result.Wo_campaign.Campaign.r_cache_hits;
+      print_compacted result.Wo_campaign.Campaign.r_compacted;
+      let report_text = Wo_campaign.Campaign.findings_report result in
+      print_string report_text;
+      (match report with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc report_text;
+        close_out oc;
+        Printf.printf "report: wrote %s\n" path);
+      (match metrics with
+      | None -> ()
+      | Some path ->
+        let doc =
+          Wo_obs.Metrics.make ~experiment:"campaign"
+            (Wo_campaign.Campaign.result_json config result
+            @ [
+                ("wall_s", Wo_obs.Json.Float wall);
+                ("workers", Wo_obs.Json.Int workers);
+                ("merged_records", Wo_obs.Json.Int appended);
+              ])
+        in
+        Wo_obs.Metrics.write_file ~path doc;
+        Printf.printf "metrics: wrote %s\n" path);
+      if result.Wo_campaign.Campaign.r_findings <> [] then exit 2
+    end
+    else begin
+    let on_shard ~shard ~settled ~executed ~total =
+      if progress then
+        Printf.printf
+          "  shard %d/%d: %d/%d cells settled, %d cache hit(s), ETA %.0fs\n%!"
+          (shard + 1) shards_total executed total settled
+          (eta_of ~done_:(shard + 1) ~total:shards_total)
+      else if shard mod 50 = 0 || shard = shards_total - 1 then
         Printf.printf "  shard %d/%d: %d/%d cells settled by this run\n%!"
           (shard + 1) shards_total executed total
     in
@@ -1106,6 +1253,7 @@ let campaign_cmd =
       (if result.Wo_campaign.Campaign.r_stopped_early then
          " [stopped early: --max-shards]"
        else "");
+    print_compacted result.Wo_campaign.Campaign.r_compacted;
     let report_text = Wo_campaign.Campaign.findings_report result in
     print_string report_text;
     (match report with
@@ -1126,16 +1274,21 @@ let campaign_cmd =
       Wo_obs.Metrics.write_file ~path doc;
       Printf.printf "metrics: wrote %s\n" path);
     if result.Wo_campaign.Campaign.r_findings <> [] then exit 2
+    end
+    end
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run a resumable synthesis campaign: generated litmus cases x \
-          machine specs, verdicts persisted in an append-only store")
+          machine specs, verdicts persisted in an append-only store; scale \
+          out with --workers (local forks) or --worker (join from any host \
+          sharing the campaign directory)")
     Term.(
       const run $ families_arg $ count_arg $ seed_arg $ runs_arg $ jobs_arg
       $ machines_arg $ machine_files_arg $ grid_arg $ shard_arg
-      $ max_shards_arg $ store_arg $ report_arg $ metrics_arg)
+      $ max_shards_arg $ store_arg $ report_arg $ metrics_arg $ workers_arg
+      $ worker_arg $ progress_arg $ auto_compact_arg)
 
 let serve_cmd =
   let socket_arg =
@@ -1156,7 +1309,16 @@ let serve_cmd =
       & info [ "max-requests" ] ~docv:"N"
           ~doc:"Exit after answering $(docv) requests (for tests).")
   in
-  let run socket tcp max_requests store_path =
+  let pool_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pool" ] ~docv:"N"
+          ~doc:
+            "Accepting domains: $(docv) clients are served concurrently \
+             against the shared store (lock-free lookups, serialized \
+             appends).")
+  in
+  let run socket tcp max_requests pool store_path =
     let server = Wo_campaign.Serve.create ~store_path in
     let listener =
       match tcp with
@@ -1165,13 +1327,14 @@ let serve_cmd =
     in
     (match listener with
     | Wo_campaign.Serve.Tcp port ->
-      Printf.printf "wo serve: listening on 127.0.0.1:%d (store %s)\n%!" port
-        store_path
+      Printf.printf "wo serve: listening on 127.0.0.1:%d (store %s, pool %d)\n%!"
+        port store_path (max 1 pool)
     | Wo_campaign.Serve.Unix_socket path ->
-      Printf.printf "wo serve: listening on %s (store %s)\n%!" path store_path);
+      Printf.printf "wo serve: listening on %s (store %s, pool %d)\n%!" path
+        store_path (max 1 pool));
     Fun.protect
       ~finally:(fun () -> Wo_campaign.Serve.close server)
-      (fun () -> Wo_campaign.Serve.serve ~max_requests server listener);
+      (fun () -> Wo_campaign.Serve.serve ~max_requests ~pool server listener);
     Printf.printf "wo serve: %d request(s) answered\n"
       (Wo_campaign.Serve.requests server)
   in
@@ -1179,8 +1342,69 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve check/sweep/synth requests over a line-delimited JSON \
-          protocol against one warm verdict store")
-    Term.(const run $ socket_arg $ tcp_arg $ max_requests_arg $ store_arg)
+          protocol against one warm verdict store, optionally from a pool \
+          of concurrent domains")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ max_requests_arg $ pool_arg
+      $ store_arg)
+
+let store_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"A WOCAMPS1 verdict store.")
+  in
+  let compact_cmd =
+    let run file =
+      if not (Sys.file_exists file) then begin
+        Printf.eprintf "wo store compact: %s: no such store\n" file;
+        exit 1
+      end;
+      let cs = Wo_campaign.Store.compact file in
+      Printf.printf
+        "compacted %s: %d -> %d records, %d -> %d bytes (%.2fx smaller)\n" file
+        cs.Wo_campaign.Store.cs_before_records
+        cs.Wo_campaign.Store.cs_after_records
+        cs.Wo_campaign.Store.cs_before_bytes cs.Wo_campaign.Store.cs_after_bytes
+        (float_of_int cs.Wo_campaign.Store.cs_before_bytes
+        /. float_of_int (max 1 cs.Wo_campaign.Store.cs_after_bytes))
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a store dropping superseded duplicate records, with a \
+            crash-safe rename swap (lookups are unchanged: the surviving \
+            record per key is the one every lookup already answered with)")
+      Term.(const run $ file_arg)
+  in
+  let stats_cmd =
+    let run file =
+      if not (Sys.file_exists file) then begin
+        Printf.eprintf "wo store stats: %s: no such store\n" file;
+        exit 1
+      end;
+      let st = Wo_campaign.Store.openf file in
+      Fun.protect ~finally:(fun () -> Wo_campaign.Store.close st) @@ fun () ->
+      let bytes = (Unix.stat file).Unix.st_size in
+      Printf.printf
+        "%s: %d record(s) (%d live, %d superseded), %d bytes%s\n" file
+        (Wo_campaign.Store.length st)
+        (Wo_campaign.Store.live st)
+        (Wo_campaign.Store.dead_estimate st)
+        bytes
+        (if Wo_campaign.Store.tail_dropped st > 0 then
+           Printf.sprintf " (%d torn-tail bytes truncated)"
+             (Wo_campaign.Store.tail_dropped st)
+         else "")
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Record, liveness and size counters for a store")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and compact persistent verdict stores")
+    [ compact_cmd; stats_cmd ]
 
 let main =
   let doc =
@@ -1201,6 +1425,7 @@ let main =
       synth_cmd;
       campaign_cmd;
       serve_cmd;
+      store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -10,11 +10,12 @@ type config = {
   shard : int;
   max_shards : int option;
   store_path : string;
+  auto_compact : float option;
 }
 
 let default_config ~store_path =
   { runs = 20; base_seed = 1; domains = None; shard = 64; max_shards = None;
-    store_path }
+    store_path; auto_compact = Some 0.5 }
 
 type verdict = {
   v_ok : bool;
@@ -85,6 +86,7 @@ type result = {
   r_sc_sets : int;
   r_findings : finding list;
   r_store_records : int;
+  r_compacted : Store.compact_stats option;
 }
 
 (* Length-prefixed concatenation: payloads are arbitrary bytes (compiled
@@ -99,6 +101,23 @@ let cell_key ~program_payload ~spec_json ~runs ~base_seed =
       Buffer.add_string b part)
     [ program_payload; spec_json; string_of_int runs; string_of_int base_seed ];
   Buffer.contents b
+
+(* The mutation corpus every front door shares: each loop-free
+   catalogued test.  Deterministic in the binary, which is what lets a
+   worker process regenerate a coordinator's exact case list from the
+   manifest parameters alone. *)
+let catalogue_corpus () =
+  List.filter_map
+    (fun (t : L.t) ->
+      if t.L.loops then None
+      else
+        Some
+          {
+            Wo_synth.Synth.base_name = t.L.name;
+            Wo_synth.Synth.base_program = t.L.program;
+            Wo_synth.Synth.base_drf0 = t.L.drf0;
+          })
+    L.all
 
 (* --- running one cell ------------------------------------------------------ *)
 
@@ -172,7 +191,7 @@ let evaluate ~runs ~base_seed ~sc_outcomes machine (test : L.t) =
       v_witness = None;
     }
 
-(* --- the sharded campaign -------------------------------------------------- *)
+(* --- the cell plan ---------------------------------------------------------- *)
 
 type cell = {
   c_case : Wo_synth.Synth.case;
@@ -196,37 +215,15 @@ let litmus_of_case (c : Wo_synth.Synth.case) =
     L.interesting = [];
   }
 
-let rec chunk n = function
-  | [] -> []
-  | items ->
-    let rec take k acc = function
-      | rest when k = 0 -> (List.rev acc, rest)
-      | [] -> (List.rev acc, [])
-      | x :: rest -> take (k - 1) (x :: acc) rest
-    in
-    let shard, rest = take n [] items in
-    shard :: chunk n rest
+type plan = { p_cells : cell array; p_shard : int }
 
-let emit_counters ~executed ~hits ~shards =
-  let r = Wo_obs.Recorder.active () in
-  if Wo_obs.Recorder.enabled r then begin
-    let c name value =
-      Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Camp ~track:0 ~name ~ts:0
-        ~value
-    in
-    c "campaign.settled" executed;
-    c "campaign.cache_hits" hits;
-    c "campaign.shards" shards
-  end
-
-let run ?on_shard config ~specs ~cases =
-  let domains =
-    match config.domains with
-    | Some d -> max 1 d
-    | None -> Sweep.default_domains ()
-  in
-  let store = Store.openf config.store_path in
-  Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+(* One program key — one compiled canonical encoding — per case, shared
+   by the store key and the SC memo table.  Cells are laid out
+   case-major (every spec of a case lands in the same shard region), and
+   the shard partition is a pure function of (cases, specs, shard size):
+   every process that builds the same plan agrees on which cells shard
+   [i] holds — the whole multi-process protocol rests on this. *)
+let plan config ~specs ~cases =
   let built =
     List.map
       (fun spec ->
@@ -235,8 +232,6 @@ let run ?on_shard config ~specs ~cases =
           J.to_string (Wo_machines.Spec.to_json spec) ))
       specs
   in
-  (* One program key — one compiled canonical encoding — per case,
-     shared by the store key and the SC memo table. *)
   let cells =
     List.concat_map
       (fun (c : Wo_synth.Synth.case) ->
@@ -258,108 +253,107 @@ let run ?on_shard config ~specs ~cases =
           built)
       cases
   in
-  let total = List.length cells in
-  (* In-run SC memoization, digest-indexed with payload confirmation —
-     enumerated lazily, only for programs some *unsettled* cell needs. *)
-  let sc_tbl : (Digest.t, (Sweep.program_key * Wo_prog.Outcome.t list) list)
-      Hashtbl.t =
-    Hashtbl.create 256
+  { p_cells = Array.of_list cells; p_shard = max 1 config.shard }
+
+let plan_cells p = Array.length p.p_cells
+
+let plan_shards p = (Array.length p.p_cells + p.p_shard - 1) / p.p_shard
+
+let shard_indices p i =
+  let total = Array.length p.p_cells in
+  let lo = i * p.p_shard and hi = min total ((i + 1) * p.p_shard) in
+  if lo >= hi then [] else List.init (hi - lo) (fun k -> lo + k)
+
+let cell_store_key p idx = p.p_cells.(idx).c_key
+
+(* --- settling cells --------------------------------------------------------- *)
+
+(* In-run SC memoization, digest-indexed with payload confirmation —
+   enumerated lazily, only for programs some *unsettled* cell needs.
+   One memo outlives many shards (and, in a worker, many claims). *)
+type memo = {
+  sc_tbl :
+    (Digest.t, (Sweep.program_key * Wo_prog.Outcome.t list) list) Hashtbl.t;
+  mutable m_sc_sets : int;
+}
+
+let memo_create () = { sc_tbl = Hashtbl.create 256; m_sc_sets = 0 }
+
+let memo_sc_sets m = m.m_sc_sets
+
+let sc_find memo key =
+  match Hashtbl.find_opt memo.sc_tbl key.Sweep.pk_digest with
+  | None -> None
+  | Some bindings -> Sweep.find_keyed key bindings
+
+let ensure_sc_sets memo ~domains cells =
+  let missing =
+    List.fold_left
+      (fun acc (cell : cell) ->
+        if cell.c_loops then acc
+        else if sc_find memo cell.c_pkey <> None then acc
+        else if Sweep.find_keyed cell.c_pkey acc <> None then acc
+        else (cell.c_pkey, cell.c_test.L.program) :: acc)
+      [] cells
+    |> List.rev
   in
-  let sc_sets = ref 0 in
-  let sc_find key =
-    match Hashtbl.find_opt sc_tbl key.Sweep.pk_digest with
-    | None -> None
-    | Some bindings -> Sweep.find_keyed key bindings
+  let enumerated =
+    Sweep.parallel_map ~domains
+      (fun (key, program) ->
+        ( key,
+          fst (Wo_prog.Enumerate.outcomes_stateful ~domains:1 program) ))
+      missing
   in
-  let ensure_sc_sets fresh_cells =
-    let missing =
-      List.fold_left
-        (fun acc cell ->
-          if cell.c_loops then acc
-          else if sc_find cell.c_pkey <> None then acc
-          else if Sweep.find_keyed cell.c_pkey acc <> None then acc
-          else (cell.c_pkey, cell.c_test.L.program) :: acc)
-        [] fresh_cells
-      |> List.rev
+  List.iter
+    (fun (key, outs) ->
+      memo.m_sc_sets <- memo.m_sc_sets + 1;
+      let prev =
+        Option.value ~default:[]
+          (Hashtbl.find_opt memo.sc_tbl key.Sweep.pk_digest)
+      in
+      Hashtbl.replace memo.sc_tbl key.Sweep.pk_digest (prev @ [ (key, outs) ]))
+    enumerated
+
+(* Settle the given (fresh) cells: enumerate any missing SC sets, then
+   evaluate in parallel.  Returns [(index, verdict string)] in input
+   order.  Verdicts are deterministic in the cell alone, so any process
+   settling the same cell writes the same bytes — what makes both the
+   resume contract and the multi-worker merge byte-stable. *)
+let settle memo ~domains config p indices =
+  let fresh = List.map (fun idx -> p.p_cells.(idx)) indices in
+  ensure_sc_sets memo ~domains fresh;
+  Sweep.parallel_map ~domains
+    (fun idx ->
+      let cell = p.p_cells.(idx) in
+      let sc_outcomes =
+        if cell.c_loops then None else sc_find memo cell.c_pkey
+      in
+      ( idx,
+        verdict_to_string
+          (evaluate ~runs:config.runs ~base_seed:config.base_seed ~sc_outcomes
+             cell.c_machine cell.c_test) ))
+    indices
+
+(* --- the sharded campaign -------------------------------------------------- *)
+
+let emit_counters ~executed ~hits ~shards =
+  let r = Wo_obs.Recorder.active () in
+  if Wo_obs.Recorder.enabled r then begin
+    let c name value =
+      Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Camp ~track:0 ~name ~ts:0
+        ~value
     in
-    let enumerated =
-      Sweep.parallel_map ~domains
-        (fun (key, program) ->
-          ( key,
-            fst (Wo_prog.Enumerate.outcomes_stateful ~domains:1 program) ))
-        missing
-    in
-    List.iter
-      (fun (key, outs) ->
-        sc_sets := !sc_sets + 1;
-        let prev =
-          Option.value ~default:[]
-            (Hashtbl.find_opt sc_tbl key.Sweep.pk_digest)
-        in
-        Hashtbl.replace sc_tbl key.Sweep.pk_digest (prev @ [ (key, outs) ]))
-      enumerated
-  in
-  let executed = ref 0 and hits = ref 0 and shards_run = ref 0 in
-  let stopped_early = ref false in
-  let cells_arr = Array.of_list cells in
-  (* Verdict strings of every cell this run settled or replayed, aligned
-     with [cells_arr] — the findings pass reads these instead of hitting
-     the store a second time per cell. *)
-  let settled : string option array = Array.make total None in
-  let shards = chunk (max 1 config.shard) (List.init total Fun.id) in
-  (try
-     List.iteri
-       (fun i shard ->
-         (match config.max_shards with
-         | Some m when !shards_run >= m ->
-           stopped_early := true;
-           raise Exit
-         | _ -> ());
-         let fresh =
-           List.filter
-             (fun idx ->
-               let cell = cells_arr.(idx) in
-               match Store.find store ~key:cell.c_key with
-               | Some s ->
-                 incr hits;
-                 settled.(idx) <- Some s;
-                 false
-               | None -> true)
-             shard
-         in
-         ensure_sc_sets (List.map (fun idx -> cells_arr.(idx)) fresh);
-         let verdicts =
-           Sweep.parallel_map ~domains
-             (fun idx ->
-               let cell = cells_arr.(idx) in
-               let sc_outcomes =
-                 if cell.c_loops then None else sc_find cell.c_pkey
-               in
-               ( idx,
-                 evaluate ~runs:config.runs ~base_seed:config.base_seed
-                   ~sc_outcomes cell.c_machine cell.c_test ))
-             fresh
-         in
-         List.iter
-           (fun (idx, v) ->
-             let s = verdict_to_string v in
-             Store.add store ~key:cells_arr.(idx).c_key ~value:s;
-             settled.(idx) <- Some s)
-           verdicts;
-         Store.sync store;
-         executed := !executed + List.length fresh;
-         incr shards_run;
-         match on_shard with
-         | Some f ->
-           f ~shard:i ~settled:!hits ~executed:!executed ~total
-         | None -> ())
-       shards
-   with Exit -> ());
-  (* The findings pass replays every settled cell's verdict — stored
-     strings, never recomputed simulations — so an interrupted-and-
-     resumed campaign reports byte-identically to an uninterrupted
-     one.  ([settled] is [None] only for cells a [max_shards] stop left
-     unvisited.) *)
+    c "campaign.settled" executed;
+    c "campaign.cache_hits" hits;
+    c "campaign.shards" shards
+  end
+
+let config_domains config =
+  match config.domains with
+  | Some d -> max 1 d
+  | None -> Sweep.default_domains ()
+
+let findings_of p settled =
   let findings = ref [] in
   Array.iteri
     (fun idx s ->
@@ -370,7 +364,7 @@ let run ?on_shard config ~specs ~cases =
         | Error _ -> ()
         | Ok v ->
           if not v.v_ok then begin
-            let cell = cells_arr.(idx) in
+            let cell = p.p_cells.(idx) in
             findings :=
               {
                 f_case = cell.c_case.Wo_synth.Synth.name;
@@ -384,14 +378,82 @@ let run ?on_shard config ~specs ~cases =
               :: !findings
           end))
     settled;
-  let findings =
-    List.sort
-      (fun a b ->
-        match compare a.f_case b.f_case with
-        | 0 -> compare a.f_machine b.f_machine
-        | c -> c)
-      !findings
+  List.sort
+    (fun a b ->
+      match compare a.f_case b.f_case with
+      | 0 -> compare a.f_machine b.f_machine
+      | c -> c)
+    !findings
+
+let run ?on_shard config ~specs ~cases =
+  let domains = config_domains config in
+  let p = plan config ~specs ~cases in
+  let total = plan_cells p in
+  let memo = memo_create () in
+  let executed = ref 0 and hits = ref 0 and shards_run = ref 0 in
+  let stopped_early = ref false in
+  (* Verdict strings of every cell this run settled or replayed, aligned
+     with the plan — the findings pass reads these instead of hitting
+     the store a second time per cell. *)
+  let settled_arr : string option array = Array.make total None in
+  let store = Store.openf config.store_path in
+  let dead, count =
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    (try
+       for i = 0 to plan_shards p - 1 do
+         (match config.max_shards with
+         | Some m when !shards_run >= m ->
+           stopped_early := true;
+           raise Exit
+         | _ -> ());
+         let fresh =
+           List.filter
+             (fun idx ->
+               match Store.find store ~key:(cell_store_key p idx) with
+               | Some s ->
+                 incr hits;
+                 settled_arr.(idx) <- Some s;
+                 false
+               | None -> true)
+             (shard_indices p i)
+         in
+         let verdicts = settle memo ~domains config p fresh in
+         List.iter
+           (fun (idx, s) ->
+             Store.add store ~key:(cell_store_key p idx) ~value:s;
+             settled_arr.(idx) <- Some s)
+           verdicts;
+         Store.sync store;
+         executed := !executed + List.length fresh;
+         incr shards_run;
+         match on_shard with
+         | Some f ->
+           f ~shard:i ~settled:!hits ~executed:!executed ~total
+         | None -> ()
+       done
+     with Exit -> ());
+    (Store.dead_estimate store, Store.length store)
   in
+  (* Auto-compaction: a store that accumulated enough superseded
+     duplicates (e.g. re-settled shards merged from a killed worker's
+     segment) is rewritten in place once the run is over and the store
+     is closed.  Lookup results are unchanged — compaction keeps
+     exactly the record every [find] answers with. *)
+  let compacted =
+    match config.auto_compact with
+    | Some threshold
+      when (not !stopped_early)
+           && count > 0 && dead > 0
+           && float_of_int dead /. float_of_int count >= threshold ->
+      Some (Store.compact config.store_path)
+    | _ -> None
+  in
+  (* The findings pass replays every settled cell's verdict — stored
+     strings, never recomputed simulations — so an interrupted-and-
+     resumed campaign reports byte-identically to an uninterrupted
+     one.  ([settled_arr] is [None] only for cells a [max_shards] stop
+     left unvisited.) *)
+  let findings = findings_of p settled_arr in
   emit_counters ~executed:!executed ~hits:!hits ~shards:!shards_run;
   {
     r_total = total;
@@ -399,9 +461,13 @@ let run ?on_shard config ~specs ~cases =
     r_cache_hits = !hits;
     r_shards = !shards_run;
     r_stopped_early = !stopped_early;
-    r_sc_sets = !sc_sets;
+    r_sc_sets = memo_sc_sets memo;
     r_findings = findings;
-    r_store_records = Store.length store;
+    r_store_records =
+      (match compacted with
+      | Some cs -> cs.Store.cs_after_records
+      | None -> count);
+    r_compacted = compacted;
   }
 
 (* --- reports --------------------------------------------------------------- *)
@@ -462,4 +528,5 @@ let result_json config r =
     ("sc_sets", J.Int r.r_sc_sets);
     ("findings", J.Int (List.length r.r_findings));
     ("store_records", J.Int r.r_store_records);
+    ("compacted", J.Bool (r.r_compacted <> None));
   ]

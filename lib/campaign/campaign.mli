@@ -17,6 +17,12 @@
     why a warm resume is orders of magnitude faster than a cold run
     (bench E15).
 
+    The building blocks — {!plan}, {!memo}, {!settle} — are exposed so
+    the multi-process {!Coordinator} can drive the same cells from
+    worker processes: the plan's shard partition is a pure function of
+    (cases, specs, shard size), and verdicts are deterministic in the
+    cell, so any process settling any shard contributes the same bytes.
+
     Observability ({!Wo_obs} counters, when a recorder is active):
     [campaign.settled], [campaign.cache_hits], [campaign.shards]. *)
 
@@ -29,10 +35,14 @@ type config = {
       (** stop (cleanly) after this many shards — partial runs for
           tests and CI resume smokes *)
   store_path : string;
+  auto_compact : float option;
+      (** compact the store after the run when at least this fraction
+          of its records are superseded duplicates; [None] never *)
 }
 
 val default_config : store_path:string -> config
-(** 20 runs, seed 1, recommended domains, 64-cell shards, no limit. *)
+(** 20 runs, seed 1, recommended domains, 64-cell shards, no limit,
+    auto-compact at 50% dead. *)
 
 type verdict = {
   v_ok : bool;  (** the spec's consistency promise held (or made none) *)
@@ -49,6 +59,12 @@ type verdict = {
 val verdict_json : verdict -> Wo_obs.Json.t
 val verdict_to_string : verdict -> string
 val verdict_of_string : string -> (verdict, string) result
+
+val catalogue_corpus : unit -> Wo_synth.Synth.corpus_entry list
+(** The mutation corpus shared by every front door: each loop-free
+    catalogued litmus test.  Deterministic in the binary — a worker
+    process regenerates a coordinator's exact case list from manifest
+    parameters alone. *)
 
 val litmus_of_case : Wo_synth.Synth.case -> Wo_litmus.Litmus.t
 (** View a synthesized case as a runnable litmus test ([drf0] iff
@@ -86,6 +102,8 @@ type result = {
       (** every broken contract among {e settled} cells, sorted by
           (case, machine) — empty is the healthy verdict *)
   r_store_records : int;  (** records in the store after the run *)
+  r_compacted : Store.compact_stats option;
+      (** set when the [auto_compact] threshold triggered a rewrite *)
 }
 
 val cell_key :
@@ -95,6 +113,48 @@ val cell_key :
     program's canonical payload ({!Wo_workload.Sweep.program_key}), the
     spec's canonical JSON and the run batch — exposed so the serve
     layer and the tests key compatibly. *)
+
+(** {2 Building blocks (shared with {!Coordinator})} *)
+
+type plan
+(** The campaign's cell array and shard partition: cells laid out
+    case-major, shards as contiguous index ranges.  A pure function of
+    (config, specs, cases) — every process building the same plan
+    agrees on which cells shard [i] holds. *)
+
+val plan :
+  config ->
+  specs:Wo_machines.Spec.t list ->
+  cases:Wo_synth.Synth.case list ->
+  plan
+
+val plan_cells : plan -> int
+(** Total cells (cases × specs). *)
+
+val plan_shards : plan -> int
+(** Number of shards (⌈cells / shard size⌉). *)
+
+val shard_indices : plan -> int -> int list
+(** The cell indices of one shard (empty past the end). *)
+
+val cell_store_key : plan -> int -> string
+
+type memo
+(** The in-run SC-outcome memoization table; one memo outlives many
+    shards (and in a worker, many claims). *)
+
+val memo_create : unit -> memo
+val memo_sc_sets : memo -> int
+
+val config_domains : config -> int
+(** The effective domain count ([domains], or the recommended count). *)
+
+val settle :
+  memo -> domains:int -> config -> plan -> int list -> (int * string) list
+(** Settle the given (fresh) cell indices: enumerate any missing SC
+    sets, evaluate in parallel, return [(index, verdict string)] pairs.
+    Deterministic in the cells alone — any process settling the same
+    cell produces the same bytes. *)
 
 val run :
   ?on_shard:(shard:int -> settled:int -> executed:int -> total:int -> unit) ->
@@ -107,7 +167,9 @@ val run :
     cells run in parallel ({!Wo_workload.Sweep.parallel_map}) and their
     verdicts are appended and synced before the next shard starts.
     Machine errors are caught per cell and recorded as failing
-    verdicts, not crashes. *)
+    verdicts, not crashes.  After a complete (not [max_shards]-stopped)
+    run, the store is compacted if the [auto_compact] dead-record
+    threshold is met. *)
 
 val findings_report : result -> string
 (** Deterministic plain-text report (no timestamps, no wall-clock): the

@@ -3,8 +3,20 @@ module L = Wo_litmus.Litmus
 module Sweep = Wo_workload.Sweep
 module Synth = Wo_synth.Synth
 
+(* The server state is shared by every domain in the pool:
+
+   - the verdict store is a {!Store.Shared} handle — lookups are
+     lock-free reads of an immutable snapshot, appends serialize on the
+     writer mutex and publish a new snapshot;
+   - the built-machine and SC-outcome caches sit behind one mutex, with
+     the expensive work (building a machine, enumerating an SC set)
+     done *outside* the lock: two domains racing on the same miss both
+     compute, the second insert finds the entry already present and
+     drops its copy — results are deterministic, so the race only ever
+     costs duplicate work, never wrong answers. *)
 type t = {
-  store : Store.t;
+  store : Store.Shared.h;
+  cache_lock : Mutex.t;
   machines : (string, Wo_machines.Spec.t * Wo_machines.Machine.t) Hashtbl.t;
       (* canonical spec JSON -> built machine *)
   sc :
@@ -13,34 +25,24 @@ type t = {
     Hashtbl.t;
   corpus : Synth.corpus_entry list;
       (* mutation seeds: the loop-free litmus catalogue *)
-  mutable served : int;
+  served : int Atomic.t;
 }
 
-let corpus_of_catalogue () =
-  List.filter_map
-    (fun (test : L.t) ->
-      if test.L.loops then None
-      else
-        Some
-          {
-            Synth.base_name = test.L.name;
-            Synth.base_program = test.L.program;
-            Synth.base_drf0 = test.L.drf0;
-          })
-    L.all
+let corpus_of_catalogue = Campaign.catalogue_corpus
 
 let create ~store_path =
   {
-    store = Store.openf store_path;
+    store = Store.Shared.openf store_path;
+    cache_lock = Mutex.create ();
     machines = Hashtbl.create 16;
     sc = Hashtbl.create 256;
     corpus = corpus_of_catalogue ();
-    served = 0;
+    served = Atomic.make 0;
   }
 
-let close t = Store.close t.store
+let close t = Store.Shared.close t.store
 
-let requests t = t.served
+let requests t = Atomic.get t.served
 
 (* --- request plumbing ------------------------------------------------------ *)
 
@@ -73,12 +75,19 @@ let spec_field t req =
       (* Canonical form: re-serialized after parsing, so two spellings of
          the same spec share cells (and the campaign CLI keys match). *)
       let canon = J.to_string (Wo_machines.Spec.to_json spec) in
-      (match Hashtbl.find_opt t.machines canon with
+      let cached =
+        Mutex.protect t.cache_lock (fun () -> Hashtbl.find_opt t.machines canon)
+      in
+      (match cached with
       | Some (spec, m) -> (spec, m, canon)
       | None ->
         let m = Wo_machines.Spec.build spec in
-        Hashtbl.add t.machines canon (spec, m);
-        (spec, m, canon)))
+        Mutex.protect t.cache_lock (fun () ->
+            match Hashtbl.find_opt t.machines canon with
+            | Some (spec, m) -> (spec, m, canon)
+            | None ->
+              Hashtbl.add t.machines canon (spec, m);
+              (spec, m, canon))))
 
 let synth_case t ~family ~seed =
   match Synth.generate ~corpus:t.corpus ~family ~seed () with
@@ -88,24 +97,32 @@ let synth_case t ~family ~seed =
 let sc_outcomes t (test : L.t) pkey =
   if test.L.loops then None
   else
-    match
+    let lookup () =
       Option.bind
         (Hashtbl.find_opt t.sc pkey.Sweep.pk_digest)
         (Sweep.find_keyed pkey)
-    with
+    in
+    match Mutex.protect t.cache_lock lookup with
     | Some outs -> Some outs
     | None ->
       let outs =
         fst (Wo_prog.Enumerate.outcomes_stateful ~domains:1 test.L.program)
       in
-      let prev =
-        Option.value ~default:[] (Hashtbl.find_opt t.sc pkey.Sweep.pk_digest)
-      in
-      Hashtbl.replace t.sc pkey.Sweep.pk_digest (prev @ [ (pkey, outs) ]);
-      Some outs
+      Mutex.protect t.cache_lock (fun () ->
+          match lookup () with
+          | Some outs -> Some outs
+          | None ->
+            let prev =
+              Option.value ~default:[]
+                (Hashtbl.find_opt t.sc pkey.Sweep.pk_digest)
+            in
+            Hashtbl.replace t.sc pkey.Sweep.pk_digest (prev @ [ (pkey, outs) ]);
+            Some outs)
 
 (* Settle (or replay) one cell against the shared store — the same key,
-   the same verdict a campaign run would record. *)
+   the same verdict a campaign run would record.  Two domains racing on
+   the same unsettled cell both evaluate (verdicts are deterministic,
+   so the same bytes); [add_if_absent] keeps exactly one record. *)
 let check_cell t ~case ~spec_canon ~machine ~runs ~base_seed =
   let test = Campaign.litmus_of_case case in
   let pkey = Sweep.program_key test.L.program in
@@ -113,7 +130,7 @@ let check_cell t ~case ~spec_canon ~machine ~runs ~base_seed =
     Campaign.cell_key ~program_payload:pkey.Sweep.pk_payload
       ~spec_json:spec_canon ~runs ~base_seed
   in
-  match Store.find t.store ~key with
+  match Store.Shared.find t.store ~key with
   | Some s -> (
     match Campaign.verdict_of_string s with
     | Ok v -> (v, true)
@@ -121,8 +138,10 @@ let check_cell t ~case ~spec_canon ~machine ~runs ~base_seed =
   | None ->
     let sc = sc_outcomes t test pkey in
     let v = Campaign.evaluate ~runs ~base_seed ~sc_outcomes:sc machine test in
-    Store.add t.store ~key ~value:(Campaign.verdict_to_string v);
-    Store.sync t.store;
+    if
+      Store.Shared.add_if_absent t.store ~key
+        ~value:(Campaign.verdict_to_string v)
+    then Store.Shared.sync t.store;
     (v, false)
 
 let case_fields (c : Synth.case) =
@@ -206,21 +225,25 @@ let op_sweep t req =
     ]
 
 let op_stats t =
+  let sc_sets, machines =
+    Mutex.protect t.cache_lock (fun () ->
+        (Hashtbl.length t.sc, Hashtbl.length t.machines))
+  in
   ok
     [
-      ("requests", J.Int t.served);
-      ("store_records", J.Int (Store.length t.store));
-      ("store_path", J.String (Store.path t.store));
-      ("sc_sets", J.Int (Hashtbl.length t.sc));
-      ("machines", J.Int (Hashtbl.length t.machines));
+      ("requests", J.Int (Atomic.get t.served));
+      ("store_records", J.Int (Store.Shared.length t.store));
+      ("store_path", J.String (Store.Shared.path t.store));
+      ("sc_sets", J.Int sc_sets);
+      ("machines", J.Int machines);
     ]
 
 let handle t req =
-  t.served <- t.served + 1;
+  let served = Atomic.fetch_and_add t.served 1 + 1 in
   let r = Wo_obs.Recorder.active () in
   if Wo_obs.Recorder.enabled r then
     Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Camp ~track:1
-      ~name:"serve.requests" ~ts:0 ~value:t.served;
+      ~name:"serve.requests" ~ts:0 ~value:served;
   match Option.bind (J.member "op" req) J.to_string_opt with
   | None -> (err "missing field \"op\"", `Continue)
   | Some op -> (
@@ -258,15 +281,17 @@ let write_all fd s =
   done
 
 (* One buffered client connection: split the byte stream on newlines and
-   answer each complete line.  Returns [`Stop] if the client asked for
-   shutdown. *)
-let serve_client t fd ~budget =
+   answer each complete line.  [take] claims one unit of the shared
+   request budget (false: the budget is spent, stop serving).  Returns
+   [`Stop] if the client asked for shutdown. *)
+let serve_client t fd ~take =
   let buf = Bytes.create 65536 in
   let pending = Buffer.create 256 in
   let stop = ref `Continue in
+  let spent = ref false in
   (try
      let eof = ref false in
-     while (not !eof) && !stop = `Continue && !budget <> 0 do
+     while (not !eof) && !stop = `Continue && not !spent do
        let n = Unix.read fd buf 0 (Bytes.length buf) in
        if n = 0 then eof := true
        else begin
@@ -278,13 +303,14 @@ let serve_client t fd ~budget =
            | [] -> ()
            | [ tail ] -> Buffer.add_string pending tail
            | line :: rest ->
-             if !stop = `Continue && !budget <> 0 then begin
-               if String.trim line <> "" then begin
-                 let resp, ctl = handle_line t (String.trim line) in
-                 write_all fd (resp ^ "\n");
-                 if !budget > 0 then decr budget;
-                 stop := ctl
-               end;
+             if !stop = `Continue && not !spent then begin
+               if String.trim line <> "" then
+                 if take () then begin
+                   let resp, ctl = handle_line t (String.trim line) in
+                   write_all fd (resp ^ "\n");
+                   stop := ctl
+                 end
+                 else spent := true;
                go rest
              end
              else Buffer.add_string pending (String.concat "\n" (line :: rest))
@@ -296,7 +322,7 @@ let serve_client t fd ~budget =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   !stop
 
-let serve ?(max_requests = -1) t listener =
+let serve ?(max_requests = -1) ?(pool = 1) t listener =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -313,15 +339,58 @@ let serve ?(max_requests = -1) t listener =
       Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
       (s, fun () -> ())
   in
+  Unix.listen sock 64;
+  (* Every pool domain accepts on the same listening socket (the kernel
+     hands each connection to exactly one).  Stopping — a shutdown
+     request, or the request budget running dry — [shutdown(2)]s the
+     listener: unlike [close], that reliably wakes every domain blocked
+     in [accept] (they see EINVAL/ECONNABORTED and exit their loops);
+     the close itself happens once they are all out. *)
+  let stopping = Atomic.make false in
+  let listener_open = Atomic.make true in
+  let stop_listener () =
+    if Atomic.compare_and_set listener_open true false then
+      try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  in
+  let unlimited = max_requests < 0 in
+  let budget = Atomic.make max_requests in
+  let take () =
+    unlimited
+    ||
+    let rec go () =
+      let v = Atomic.get budget in
+      if v <= 0 then false
+      else if Atomic.compare_and_set budget v (v - 1) then begin
+        if v = 1 then begin
+          Atomic.set stopping true;
+          stop_listener ()
+        end;
+        true
+      end
+      else go ()
+    in
+    go ()
+  in
+  let accept_loop _worker =
+    let live = ref true in
+    while !live && not (Atomic.get stopping) do
+      match Unix.accept sock with
+      | fd, _ ->
+        if serve_client t fd ~take = `Stop then begin
+          Atomic.set stopping true;
+          stop_listener ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception
+          Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+        ->
+        live := false
+    done
+  in
   Fun.protect ~finally:(fun () ->
+      stop_listener ();
       (try Unix.close sock with Unix.Unix_error _ -> ());
       cleanup ())
   @@ fun () ->
-  Unix.listen sock 64;
-  let budget = ref max_requests in
-  let stop = ref `Continue in
-  while !stop = `Continue && !budget <> 0 do
-    match Unix.accept sock with
-    | fd, _ -> stop := serve_client t fd ~budget
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+  Sweep.parallel_iter ~domains:(max 1 pool) accept_loop
+    (List.init (max 1 pool) Fun.id)

@@ -24,7 +24,14 @@
 
     Malformed requests answer [{"ok":false,"error":...}] and keep the
     connection open.  Emits the [serve.requests] counter when a
-    recorder is active. *)
+    recorder is active.
+
+    The server state is domain-safe: the store is a {!Store.Shared}
+    handle (lock-free snapshot reads, mutex-serialized appends), the
+    machine/SC caches are mutex-guarded with the expensive misses
+    computed outside the lock (racing domains duplicate work, never
+    answers), and {!serve} can run a pool of accepting domains over
+    one listening socket. *)
 
 type t
 
@@ -45,10 +52,12 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
 
 type listener = Unix_socket of string | Tcp of int
 
-val serve : ?max_requests:int -> t -> listener -> unit
+val serve : ?max_requests:int -> ?pool:int -> t -> listener -> unit
 (** Bind, listen, and answer clients until a [shutdown] request (or
-    [max_requests] answered — for tests).  Clients are served one
-    connection at a time against the shared warm cache; a client
-    closing mid-line or writing garbage never kills the server.
-    Removes a stale Unix-socket path before binding and unlinks it on
-    exit. *)
+    [max_requests] answered across all clients — for tests and CI).
+    [pool] (default 1) domains accept concurrently on the same
+    listening socket, each serving its connection to completion
+    against the shared warm cache; stopping closes the listener, which
+    wakes the domains blocked in [accept].  A client closing mid-line
+    or writing garbage never kills the server.  Removes a stale
+    Unix-socket path before binding and unlinks it on exit. *)

@@ -1,0 +1,429 @@
+(* Scale-out: snapshot readers against live writers (qcheck over torn
+   tails), compaction byte-identity (qcheck), the shared in-process
+   handle under domain concurrency, the multi-process coordinator's
+   claim/segment/merge protocol, and the pooled serve loop. *)
+
+module C = Wo_campaign.Campaign
+module Store = Wo_campaign.Store
+module Coordinator = Wo_campaign.Coordinator
+module Serve = Wo_campaign.Serve
+module J = Wo_obs.Json
+module S = Wo_synth.Synth
+
+let check = Alcotest.(check bool)
+
+let temp_store () =
+  let path = Filename.temp_file "wo-scaleout-test" ".store" in
+  Sys.remove path;
+  path
+
+let with_store path f =
+  let s = Store.openf path in
+  Fun.protect ~finally:(fun () -> Store.close s) (fun () -> f s)
+
+(* --- snapshots never see torn records ---------------------------------------- *)
+
+(* A reader that opens (or refreshes) mid-append sees some complete
+   prefix of the log and nothing else: simulate the in-flight append by
+   truncating the file at an arbitrary byte, load a read-only snapshot,
+   and demand (a) it indexes exactly the complete prefix, byte-correct,
+   (b) it never modifies the file (a concurrent writer owns the tail),
+   (c) refresh picks up what a writer appends afterwards. *)
+let prop_snapshot_never_torn =
+  QCheck.Test.make
+    ~name:"readers opened mid-append see a complete prefix, never a torn record"
+    ~count:60
+    QCheck.(pair (int_range 1 20) (int_range 0 4000))
+    (fun (n, cut_rand) ->
+      let path = temp_store () in
+      let kv i =
+        ( Printf.sprintf "key-%d-%s" i (String.make (i mod 9) 'k'),
+          Printf.sprintf "value-%d-%s" i (String.make (i * 17 mod 60) 'v') )
+      in
+      with_store path (fun s ->
+          for i = 1 to n do
+            let k, v = kv i in
+            Store.add s ~key:k ~value:v
+          done);
+      let size = (Unix.stat path).Unix.st_size in
+      let cut = 8 + (cut_rand mod (size - 8 + 1)) in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Unix.ftruncate fd cut;
+      Unix.close fd;
+      let snap = Store.Snapshot.load path in
+      let seen = Store.Snapshot.length snap in
+      let prefix_ok = ref true in
+      for i = 1 to seen do
+        let k, v = kv i in
+        if Store.Snapshot.find snap ~key:k <> Some v then prefix_ok := false
+      done;
+      for i = seen + 1 to n do
+        let k, _ = kv i in
+        if Store.Snapshot.mem snap ~key:k then prefix_ok := false
+      done;
+      (* the snapshot must not have truncated or written the file *)
+      let untouched = (Unix.stat path).Unix.st_size = cut in
+      (* a writer reopens (recovering the tail) and appends; refresh
+         must surface the append without disturbing the old snapshot *)
+      with_store path (fun s -> Store.add s ~key:"fresh" ~value:"record");
+      let snap2 = Store.Snapshot.refresh snap in
+      let refreshed = Store.Snapshot.find snap2 ~key:"fresh" = Some "record" in
+      let old_unchanged = not (Store.Snapshot.mem snap ~key:"fresh") in
+      Store.Snapshot.close snap2;
+      Sys.remove path;
+      !prefix_ok && untouched && refreshed && old_unchanged)
+
+(* --- compaction preserves every live pair byte-identically -------------------- *)
+
+let prop_compaction_identity =
+  QCheck.Test.make
+    ~name:"compaction preserves every live (key, value) pair byte-identically"
+    ~count:60
+    QCheck.(pair (int_range 1 40) (int_range 1 8))
+    (fun (n, distinct) ->
+      let path = temp_store () in
+      (* keys collide (i mod distinct): later adds are superseded
+         duplicates that compaction must drop *)
+      let key i = Printf.sprintf "key-%d" (i mod distinct) in
+      let value i = Printf.sprintf "value-%d-%s" i (String.make (i mod 23) 'z') in
+      with_store path (fun s ->
+          for i = 1 to n do
+            Store.add s ~key:(key i) ~value:(value i)
+          done);
+      let live =
+        with_store path (fun s ->
+            List.filter_map
+              (fun d ->
+                let k = Printf.sprintf "key-%d" d in
+                Option.map (fun v -> (k, v)) (Store.find s ~key:k))
+              (List.init distinct Fun.id))
+      in
+      let cs = Store.compact path in
+      let after_ok =
+        with_store path (fun s ->
+            Store.length s = List.length live
+            && Store.dead_estimate s = 0
+            && Store.tail_dropped s = 0
+            && List.for_all
+                 (fun (k, v) -> Store.find s ~key:k = Some v)
+                 live)
+      in
+      let stats_ok =
+        cs.Store.cs_before_records = n
+        && cs.Store.cs_after_records = List.length live
+        && cs.Store.cs_after_bytes <= cs.Store.cs_before_bytes
+        && cs.Store.cs_after_bytes = (Unix.stat path).Unix.st_size
+      in
+      Sys.remove path;
+      after_ok && stats_ok)
+
+(* --- the shared handle under domain concurrency ------------------------------- *)
+
+let test_shared_concurrent () =
+  let path = temp_store () in
+  Store.close (Store.openf path);
+  let h = Store.Shared.openf path in
+  Fun.protect ~finally:(fun () -> Store.Shared.close h) @@ fun () ->
+  let n = 300 in
+  let written = Atomic.make 0 in
+  let torn = Atomic.make 0 in
+  let key i = Printf.sprintf "cell-%d" i in
+  let value i = Printf.sprintf "verdict-%d-%s" i (String.make (i mod 41) 'w') in
+  (* worker 0 appends; the others chase the high-water mark with
+     lock-free finds — every key at or below it must answer exactly its
+     value (a torn or missing read is a protocol violation) *)
+  Wo_workload.Sweep.parallel_iter ~domains:4
+    (fun w ->
+      if w = 0 then
+        for i = 1 to n do
+          ignore (Store.Shared.add_if_absent h ~key:(key i) ~value:(value i));
+          Atomic.set written i
+        done
+      else
+        while Atomic.get written < n do
+          let hi = Atomic.get written in
+          if hi > 0 then begin
+            let i = 1 + ((hi * (w + 7)) mod hi) in
+            match Store.Shared.find h ~key:(key i) with
+            | Some v when String.equal v (value i) -> ()
+            | _ -> Atomic.incr torn
+          end;
+          Domain.cpu_relax ()
+        done)
+    [ 0; 1; 2; 3 ];
+  check "no torn or missing concurrent reads" true (Atomic.get torn = 0);
+  check "all records present" true (Store.Shared.length h = n);
+  check "add_if_absent refuses duplicates" false
+    (Store.Shared.add_if_absent h ~key:(key 1) ~value:"other");
+  check "duplicate add did not overwrite" true
+    (Store.Shared.find h ~key:(key 1) = Some (value 1));
+  Sys.remove path
+
+(* --- the coordinator protocol ------------------------------------------------- *)
+
+let specs =
+  [
+    Option.get (Wo_machines.Presets.spec_of "sc-dir");
+    Option.get (Wo_machines.Presets.spec_of "wo-new");
+  ]
+
+let families = [ "cycle-mixed" ]
+
+let count = 6
+
+let cases () =
+  let corpus = C.catalogue_corpus () in
+  List.concat_map
+    (fun family ->
+      match S.batch ~corpus ~family ~base_seed:1 ~count () with
+      | Ok cs -> cs
+      | Error e -> Alcotest.failf "batch: %s" e)
+    families
+
+let config path =
+  {
+    (C.default_config ~store_path:path) with
+    C.runs = 4;
+    shard = 3;
+    domains = Some 1;
+  }
+
+let cleanup_campaign path =
+  (try Coordinator.cleanup (Coordinator.attach ~store_path:path)
+   with Failure _ | Sys_error _ -> ());
+  if Sys.file_exists path then Sys.remove path
+
+let test_coordinator_identity () =
+  let cases = cases () in
+  (* single-process reference *)
+  let ref_path = temp_store () in
+  let r_ref = C.run (config ref_path) ~specs ~cases in
+  (* coordinated: two sequential workers share the directory — the
+     first stops after one claim (a worker that died would look the
+     same to the second), the second finishes the campaign *)
+  let path = temp_store () in
+  let co = Coordinator.create (config path) ~specs ~families ~count in
+  check "plan agrees with reference total" true
+    (Coordinator.cells co = r_ref.C.r_total);
+  let w1 = Coordinator.run_worker ~domains:1 ~max_claims:1 co in
+  check "first worker claimed one shard" true (w1.Coordinator.w_claimed = 1);
+  check "not everything is done yet" true
+    (Coordinator.done_count co < Coordinator.shards co);
+  let w2 = Coordinator.run_worker ~domains:1 co in
+  check "second worker finished the rest" true
+    (w1.Coordinator.w_claimed + w2.Coordinator.w_claimed
+    = Coordinator.shards co);
+  check "every shard done" true
+    (Coordinator.done_count co = Coordinator.shards co);
+  let segs, appended = Coordinator.merge co in
+  check "every segment merged" true (segs = Coordinator.shards co);
+  check "merge appended records" true (appended > 0);
+  (* the merged store replays byte-identically to the reference *)
+  let warm = C.run (config path) ~specs ~cases in
+  check "warm run over merged store executes nothing" true
+    (warm.C.r_executed = 0);
+  Alcotest.(check string)
+    "coordinated report byte-identical to single-process"
+    (C.findings_report r_ref) (C.findings_report warm);
+  (* merge is idempotent *)
+  let _, appended2 = Coordinator.merge co in
+  check "re-merge appends nothing" true (appended2 = 0);
+  Coordinator.cleanup co;
+  check "cleanup removes the campaign directory" false
+    (Sys.file_exists (path ^ ".campaign"));
+  Sys.remove ref_path;
+  Sys.remove path
+
+let test_coordinator_resume_after_kill () =
+  (* A killed worker leaves a stale lock (its pid is dead) and a torn
+     segment; the next worker must break the lock, recover the
+     segment's complete records, and settle only the remainder. *)
+  let cases = cases () in
+  let path = temp_store () in
+  let co = Coordinator.create (config path) ~specs ~families ~count in
+  (* settle shard 0 for real once, to harvest a valid segment *)
+  let w = Coordinator.run_worker ~domains:1 ~max_claims:1 co in
+  check "one shard settled" true (w.Coordinator.w_claimed = 1);
+  let seg0 = Filename.concat (path ^ ".campaign") "segs/shard-00000.seg" in
+  let lock0 = Filename.concat (path ^ ".campaign") "locks/shard-00000.lock" in
+  let done0 = Filename.concat (path ^ ".campaign") "segs/shard-00000.done" in
+  check "segment exists" true (Sys.file_exists seg0);
+  (* simulate the kill: drop the done marker, tear the segment's tail,
+     and plant a lock owned by a dead pid on this host *)
+  Sys.remove done0;
+  let size = (Unix.stat seg0).Unix.st_size in
+  let fd = Unix.openfile seg0 [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd (size - 5);
+  Unix.close fd;
+  Sys.remove lock0;
+  (* any pid the kernel says is unused (fork is off-limits here: the
+     test binary has already spawned domains) *)
+  let dead_pid =
+    let rec probe p =
+      match Unix.kill p 0 with
+      | () -> probe (p - 1)
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> p
+      | exception Unix.Unix_error (_, _, _) -> probe (p - 1)
+    in
+    probe 4_000_000
+  in
+  let oc = open_out lock0 in
+  Printf.fprintf oc "%d %s\n" dead_pid (Unix.gethostname ());
+  close_out oc;
+  (* the next worker must reclaim shard 0 (stale lock) and finish all *)
+  let w2 = Coordinator.run_worker ~domains:1 co in
+  check "resumed worker reclaimed the torn shard" true
+    (w2.Coordinator.w_claimed = Coordinator.shards co);
+  check "torn record was re-settled, complete ones replayed" true
+    (w2.Coordinator.w_replayed > 0);
+  check "all shards done after resume" true
+    (Coordinator.done_count co = Coordinator.shards co);
+  ignore (Coordinator.merge co);
+  let warm = C.run (config path) ~specs ~cases in
+  check "resumed campaign replays everything" true (warm.C.r_executed = 0);
+  let ref_path = temp_store () in
+  let r_ref = C.run (config ref_path) ~specs ~cases in
+  Alcotest.(check string)
+    "report after kill+resume byte-identical"
+    (C.findings_report r_ref) (C.findings_report warm);
+  Coordinator.cleanup co;
+  Sys.remove ref_path;
+  Sys.remove path
+
+let test_live_lock_respected () =
+  let path = temp_store () in
+  let co = Coordinator.create (config path) ~specs ~families ~count in
+  let lock0 = Filename.concat (path ^ ".campaign") "locks/shard-00000.lock" in
+  (* a lock held by a live pid (ours) must not be broken *)
+  let oc = open_out lock0 in
+  Printf.fprintf oc "%d %s\n" (Unix.getpid ()) (Unix.gethostname ());
+  close_out oc;
+  let w = Coordinator.run_worker ~domains:1 co in
+  check "live-locked shard was skipped" true
+    (w.Coordinator.w_claimed = Coordinator.shards co - 1);
+  check "locked shard not done" false (Coordinator.shard_done co 0);
+  Sys.remove lock0;
+  let w2 = Coordinator.run_worker ~domains:1 co in
+  check "released shard claimed" true (w2.Coordinator.w_claimed = 1);
+  Coordinator.cleanup co;
+  Sys.remove path
+
+(* --- campaign auto-compaction -------------------------------------------------- *)
+
+let test_auto_compact () =
+  let cases = cases () in
+  let path = temp_store () in
+  (* a cold run writes no duplicates: no compaction even at threshold 0+ *)
+  let cfg = { (config path) with C.auto_compact = Some 0.01 } in
+  let cold = C.run cfg ~specs ~cases in
+  check "clean run does not compact" true (cold.C.r_compacted = None);
+  let records = cold.C.r_store_records in
+  (* duplicate every record (as merged segments from a double-claimed
+     shard would), then run warm: half the store is superseded *)
+  let pairs = ref [] in
+  with_store path (fun s ->
+      Store.iter s (fun ~key ~value -> pairs := (key, value) :: !pairs);
+      List.iter (fun (k, v) -> Store.add s ~key:k ~value:v) !pairs);
+  let warm = C.run cfg ~specs ~cases in
+  check "warm run replays despite duplicates" true (warm.C.r_executed = 0);
+  (match warm.C.r_compacted with
+  | None -> Alcotest.fail "50% superseded store did not auto-compact"
+  | Some cs ->
+    check "compaction dropped the duplicates" true
+      (cs.Store.cs_after_records = records
+      && cs.Store.cs_before_records = 2 * records));
+  Alcotest.(check string)
+    "report unchanged by compaction"
+    (C.findings_report cold) (C.findings_report warm);
+  (* and the compacted store still replays byte-identically *)
+  let again = C.run cfg ~specs ~cases in
+  check "post-compaction run replays everything" true
+    (again.C.r_executed = 0 && again.C.r_compacted = None);
+  Sys.remove path
+
+(* --- the pooled serve loop ------------------------------------------------------ *)
+
+let test_serve_pool_socket () =
+  let path = temp_store () in
+  let sock_path = Filename.temp_file "wo-serve-test" ".sock" in
+  Sys.remove sock_path;
+  let server = Serve.create ~store_path:path in
+  let d =
+    Domain.spawn (fun () ->
+        Serve.serve ~pool:2 server (Serve.Unix_socket sock_path))
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while
+    (not (Sys.file_exists sock_path)) && Unix.gettimeofday () < deadline
+  do
+    ignore (Unix.select [] [] [] 0.02)
+  done;
+  let rpc fd line =
+    let s = line ^ "\n" in
+    ignore (Unix.write_substring fd s 0 (String.length s));
+    let buf = Bytes.create 65536 in
+    let b = Buffer.create 256 in
+    let rec go () =
+      let n = Unix.read fd buf 0 (Bytes.length buf) in
+      if n > 0 then begin
+        Buffer.add_subbytes b buf 0 n;
+        if not (String.contains (Buffer.contents b) '\n') then go ()
+      end
+    in
+    go ();
+    J.of_string (String.trim (Buffer.contents b))
+  in
+  let connect () =
+    (* the socket path appears at bind, a moment before listen *)
+    let rec go tries =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+      | () -> fd
+      | exception Unix.Unix_error _ when tries > 0 ->
+        Unix.close fd;
+        ignore (Unix.select [] [] [] 0.05);
+        go (tries - 1)
+    in
+    go 100
+  in
+  (* two clients connected at once, both served *)
+  let c1 = connect () and c2 = connect () in
+  let ping c =
+    match rpc c "{\"op\": \"ping\"}" with
+    | Ok j -> Option.bind (J.member "pong" j) J.to_bool_opt = Some true
+    | Error _ -> false
+  in
+  check "client 1 served" true (ping c1);
+  check "client 2 served concurrently" true (ping c2);
+  Unix.close c1;
+  (* shutdown wakes the whole pool and serve returns *)
+  (match rpc c2 "{\"op\": \"shutdown\"}" with
+  | Ok j ->
+    check "shutdown acknowledged" true
+      (Option.bind (J.member "stopping" j) J.to_bool_opt = Some true)
+  | Error e -> Alcotest.failf "shutdown response: %s" e);
+  Unix.close c2;
+  Domain.join d;
+  check "requests counted across the pool" true (Serve.requests server >= 3);
+  Serve.close server;
+  check "socket path removed on exit" false (Sys.file_exists sock_path);
+  Sys.remove path
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_snapshot_never_torn;
+    QCheck_alcotest.to_alcotest prop_compaction_identity;
+    Alcotest.test_case "shared store: lock-free reads under a live writer"
+      `Quick test_shared_concurrent;
+    Alcotest.test_case
+      "coordinator: two workers reproduce the single-process report" `Quick
+      test_coordinator_identity;
+    Alcotest.test_case "coordinator: kill -9 resume (stale lock, torn segment)"
+      `Quick test_coordinator_resume_after_kill;
+    Alcotest.test_case "coordinator: live locks are never broken" `Quick
+      test_live_lock_respected;
+    Alcotest.test_case "campaign auto-compacts a half-superseded store" `Quick
+      test_auto_compact;
+    Alcotest.test_case "serve pool: concurrent clients, clean shutdown" `Quick
+      test_serve_pool_socket;
+  ]
