@@ -75,6 +75,41 @@ let metrics_arg =
           "Also write a versioned wo-metrics JSON document (schema \
            $(b,wo-metrics)) to $(docv).")
 
+(* Shared by litmus/sweep/campaign (`wo check' has its own flag for the
+   enumeration engine): which execution engine drives the machines.
+   Results are byte-identical either way — the flag exists for
+   cross-checking the compiled path against the AST oracle and for
+   measuring the speedup. *)
+let machine_engine_arg =
+  let e = Arg.enum [ ("compiled", M.Compiled); ("ast", M.Ast) ] in
+  Arg.(
+    value & opt e M.Compiled
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Machine execution engine: $(b,compiled) (the default: each \
+           program is lowered once to int-coded ops and driven through \
+           reusable machine sessions) or $(b,ast) (the AST-walking \
+           frontend, kept as the oracle).  Programs the compiler cannot \
+           lower fall back to $(b,ast) automatically; results are \
+           byte-identical either way.")
+
+(* Metrics-envelope fields every machine-running command records: the
+   engine it asked for and the process-wide machine counters (also
+   emitted to the active recorder, for trace consumers). *)
+let machine_engine_fields engine =
+  M.emit_counters ();
+  [
+    ("engine", Wo_obs.Json.String (M.engine_name engine));
+    ( "machine_counters",
+      Wo_obs.Json.Obj
+        [
+          ("machine.runs", Wo_obs.Json.Int (M.runs ()));
+          ("machine.session_reuse", Wo_obs.Json.Int (M.session_reuses ()));
+          ( "machine.compile_fallbacks",
+            Wo_obs.Json.Int (M.compile_fallbacks ()) );
+        ] );
+  ]
+
 (* A Machine_error is a finding about the simulated hardware (deadlock,
    protocol violation), not a usage error: report it and exit 3. *)
 let machine_errors f =
@@ -210,11 +245,13 @@ let litmus_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"TEST" ~doc:"Litmus test name (see `wo list').")
   in
-  let run test machine machine_file runs seed metrics =
+  let run test machine machine_file runs seed engine metrics =
     let test = or_die (get_litmus test) in
     let machine = or_die (resolve_machine machine machine_file) in
     machine_errors @@ fun () ->
-    let report = Wo_litmus.Runner.run ~runs ~base_seed:seed machine test in
+    let report =
+      Wo_litmus.Runner.run ~runs ~base_seed:seed ~engine machine test
+    in
     Format.printf "%a@.@." Wo_litmus.Runner.pp_report report;
     if not test.L.loops then begin
       Printf.printf "observed outcomes (SC set has %d):\n"
@@ -239,7 +276,8 @@ let litmus_cmd =
       let r = M.run machine ~seed test.L.program in
       let doc =
         Wo_obs.Metrics.make ~experiment:"litmus"
-          [
+          (machine_engine_fields engine
+          @ [
             ("test", Wo_obs.Json.String test.L.name);
             ("machine", Wo_obs.Json.String machine.M.name);
             ("runs", Wo_obs.Json.Int runs);
@@ -264,7 +302,7 @@ let litmus_cmd =
                   ("stalls", Wo_obs.Stall.to_json r.M.stalls);
                   ("messages", Wo_obs.Tap.to_json r.M.taps);
                 ] );
-          ]
+          ])
       in
       Wo_obs.Metrics.write_file ~path doc;
       Printf.printf "metrics: wrote %s\n" path);
@@ -280,7 +318,7 @@ let litmus_cmd =
        ~doc:"Run a litmus test on a machine and compare with the SC set")
     Term.(
       const run $ test_arg $ machine_arg $ machine_file_arg $ runs_arg
-      $ seed_arg $ metrics_arg)
+      $ seed_arg $ machine_engine_arg $ metrics_arg)
 
 (* --- wo races ------------------------------------------------------------- *)
 
@@ -579,7 +617,8 @@ let sweep_cmd =
       & info [ "workloads" ]
           ~doc:"Also sweep the performance workloads (average cycles).")
   in
-  let run jobs machine_names machine_files runs seed with_workloads metrics =
+  let run jobs machine_names machine_files runs seed with_workloads engine
+      metrics =
     (* The campaign runs over machine specs: presets resolve to theirs,
        and [--machine-file] appends JSON-defined machines to the grid. *)
     let specs =
@@ -591,8 +630,8 @@ let sweep_cmd =
     machine_errors @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let campaign =
-      Wo_workload.Sweep.spec_campaign ~runs ~base_seed:seed ?domains ~specs
-        Wo_litmus.Litmus.all
+      Wo_workload.Sweep.spec_campaign ~runs ~base_seed:seed ?domains ~engine
+        ~specs Wo_litmus.Litmus.all
     in
     let litmus_secs = Unix.gettimeofday () -. t0 in
     Wo_report.Table.heading
@@ -628,7 +667,7 @@ let sweep_cmd =
         let t1 = Unix.gettimeofday () in
         let cells =
           Wo_workload.Sweep.workload_campaign ~runs:(min runs 20)
-            ~base_seed:seed ?domains ~machines Wo_workload.Workload.all
+            ~base_seed:seed ?domains ~engine ~machines Wo_workload.Workload.all
         in
         Wo_report.Table.heading
           (Printf.sprintf "Workload sweep (avg cycles over %d runs, %.2fs)"
@@ -659,7 +698,8 @@ let sweep_cmd =
     | Some path ->
       let doc =
         Wo_obs.Metrics.make ~experiment:"sweep"
-          [
+          (machine_engine_fields engine
+          @ [
             ("runs", Wo_obs.Json.Int runs);
             ("seed", Wo_obs.Json.Int seed);
             ( "domains",
@@ -676,7 +716,7 @@ let sweep_cmd =
               Wo_obs.Json.Int (List.length workload_cells) );
             ( "workload_invariant_failures",
               Wo_obs.Json.Int (List.length workload_failures) );
-          ]
+          ])
       in
       Wo_obs.Metrics.write_file ~path doc;
       Printf.printf "metrics: wrote %s\n" path);
@@ -708,7 +748,7 @@ let sweep_cmd =
           domains")
     Term.(
       const run $ jobs_arg $ machines_arg $ machine_files_arg $ runs_arg
-      $ seed_arg $ workloads_arg $ metrics_arg)
+      $ seed_arg $ workloads_arg $ machine_engine_arg $ metrics_arg)
 
 (* --- wo trace -------------------------------------------------------------- *)
 
@@ -1113,7 +1153,7 @@ let campaign_cmd =
   in
   let run families count seed runs jobs machine_names machine_files grid shard
       max_shards store_path report metrics workers worker progress auto_compact
-      =
+      engine =
     if worker then run_as_worker ~store_path ~jobs ~progress
     else begin
     let specs =
@@ -1194,7 +1234,7 @@ let campaign_cmd =
         appended;
       (* Warm replay over the merged store: executed is 0, and the
          findings report is byte-identical to a single-process run's. *)
-      let result = Wo_campaign.Campaign.run config ~specs ~cases in
+      let result = Wo_campaign.Campaign.run ~engine config ~specs ~cases in
       Wo_campaign.Coordinator.cleanup co;
       let wall = Unix.gettimeofday () -. t0 in
       Printf.printf
@@ -1217,7 +1257,8 @@ let campaign_cmd =
       | Some path ->
         let doc =
           Wo_obs.Metrics.make ~experiment:"campaign"
-            (Wo_campaign.Campaign.result_json config result
+            (machine_engine_fields engine
+            @ Wo_campaign.Campaign.result_json config result
             @ [
                 ("wall_s", Wo_obs.Json.Float wall);
                 ("workers", Wo_obs.Json.Int workers);
@@ -1240,7 +1281,7 @@ let campaign_cmd =
           (shard + 1) shards_total executed total
     in
     let result =
-      Wo_campaign.Campaign.run ~on_shard config ~specs ~cases
+      Wo_campaign.Campaign.run ~engine ~on_shard config ~specs ~cases
     in
     let wall = Unix.gettimeofday () -. t0 in
     Printf.printf
@@ -1268,7 +1309,8 @@ let campaign_cmd =
     | Some path ->
       let doc =
         Wo_obs.Metrics.make ~experiment:"campaign"
-          (Wo_campaign.Campaign.result_json config result
+          (machine_engine_fields engine
+          @ Wo_campaign.Campaign.result_json config result
           @ [ ("wall_s", Wo_obs.Json.Float wall) ])
       in
       Wo_obs.Metrics.write_file ~path doc;
@@ -1288,7 +1330,7 @@ let campaign_cmd =
       const run $ families_arg $ count_arg $ seed_arg $ runs_arg $ jobs_arg
       $ machines_arg $ machine_files_arg $ grid_arg $ shard_arg
       $ max_shards_arg $ store_arg $ report_arg $ metrics_arg $ workers_arg
-      $ worker_arg $ progress_arg $ auto_compact_arg)
+      $ worker_arg $ progress_arg $ auto_compact_arg $ machine_engine_arg)
 
 let serve_cmd =
   let socket_arg =

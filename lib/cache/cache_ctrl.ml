@@ -5,7 +5,7 @@ type access_kind =
   | `Data_write of Wo_core.Event.value
   | `Sync_read
   | `Sync_write of Wo_core.Event.value
-  | `Sync_rmw of Wo_core.Event.value -> Wo_core.Event.value ]
+  | `Sync_rmw of Wo_core.Event.rmw ]
 
 type completion = {
   on_commit : at:int -> Wo_core.Event.value option -> unit;
@@ -244,9 +244,9 @@ let apply_op t (l : line) (op : op) ~(gp_immediate : bool) =
       l.value <- v;
       l.value_bound_at <- now;
       (None, true, now)
-    | `Sync_rmw f ->
+    | `Sync_rmw d ->
       let old = l.value in
-      l.value <- f old;
+      l.value <- Wo_core.Event.apply_rmw d old;
       l.value_bound_at <- now;
       (Some old, true, now)
   in
@@ -605,6 +605,19 @@ let create ~engine ~fabric ~node ~dir_node ?stats ?stalls
   in
   fabric.Wo_interconnect.Fabric.connect ~node (fun msg -> dispatch t msg);
   t
+
+(* Session support: drop every line and every in-flight access, in place.
+   Sound only when the engine has drained or been cleared — the fabric
+   handler registered by [create] stays connected, so the controller is
+   immediately usable for the next run. *)
+let reset t =
+  Hashtbl.reset t.lines;
+  t.next_serial <- 0;
+  Hashtbl.reset t.outstanding;
+  t.idle_waiters <- [];
+  Queue.clear t.alloc_waiting;
+  t.pending <- 0;
+  t.use_clock <- 0
 
 let outstanding t = Hashtbl.length t.outstanding
 

@@ -37,7 +37,7 @@ type access_kind =
   | `Data_write of Wo_core.Event.value
   | `Sync_read
   | `Sync_write of Wo_core.Event.value
-  | `Sync_rmw of Wo_core.Event.value -> Wo_core.Event.value ]
+  | `Sync_rmw of Wo_core.Event.rmw ]
 
 type completion = {
   on_commit : at:int -> Wo_core.Event.value option -> unit;
@@ -88,6 +88,12 @@ val create :
     (Section 5.3), measured from where the stalling actually happens.
     With an enabled [obs] recorder, misses and reserve-bit windows become
     [Cache]-category spans on track [node]. *)
+
+val reset : t -> unit
+(** Drop every line and in-flight access, returning the controller to its
+    just-created state.  The fabric connection made by {!create} persists,
+    so the controller is immediately reusable.  Only sound between runs —
+    after the engine has drained or been cleared. *)
 
 val access : t -> Wo_core.Event.loc -> access_kind -> completion -> unit
 (** Submit one access.  Accesses to the same line are serviced in

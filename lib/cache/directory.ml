@@ -227,6 +227,11 @@ let create ~engine ~fabric ~node ?stats ?(obs = Wo_obs.Recorder.disabled)
   fabric.Wo_interconnect.Fabric.connect ~node (fun msg -> handle t msg);
   t
 
+(* Session support: forget every line.  Lines are recreated lazily with
+   [t.initial], so a directory whose [initial] closure reads mutable
+   state picks up the next program's initial values after a reset. *)
+let reset t = Hashtbl.reset t.lines
+
 let state_of t loc =
   match Hashtbl.find_opt t.lines loc with
   | None -> Uncached

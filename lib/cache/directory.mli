@@ -39,6 +39,11 @@ val create :
     invalidation round) becomes a [Dir]-category span on the line's
     track. *)
 
+val reset : t -> unit
+(** Forget every line, in place; the fabric connection persists.  Lines
+    are recreated lazily through [initial], so the directory serves the
+    next run's initial values.  Only sound between runs. *)
+
 val state_of : t -> Wo_core.Event.loc -> state
 
 val memory_value : t -> Wo_core.Event.loc -> Wo_core.Event.value

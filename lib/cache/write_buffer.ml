@@ -11,6 +11,11 @@ let create ~depth =
   if depth <= 0 then invalid_arg "Write_buffer.create: depth must be positive";
   { depth; queue = Queue.create (); empty_waiters = []; slot_waiters = [] }
 
+let clear t =
+  Queue.clear t.queue;
+  t.empty_waiters <- [];
+  t.slot_waiters <- []
+
 let is_empty t = Queue.is_empty t.queue
 let size t = Queue.length t.queue
 let depth t = t.depth

@@ -27,6 +27,9 @@ val newest_for : t -> Wo_core.Event.loc -> entry option
 
 val has_loc : t -> Wo_core.Event.loc -> bool
 
+val clear : t -> unit
+(** Empty the buffer and drop every waiter, in place (session reset). *)
+
 val is_empty : t -> bool
 
 val size : t -> int

@@ -155,10 +155,18 @@ let witness_of machine (test : L.t) ~runs ~base_seed ~sc_outcomes =
   in
   go base_seed
 
-let evaluate ~runs ~base_seed ~sc_outcomes machine (test : L.t) =
+let evaluate ?(engine = M.Compiled) ?compiled ~runs ~base_seed ~sc_outcomes
+    machine (test : L.t) =
   try
+    (* The seed batch runs through the calling domain's reusable session
+       (fabric and memory system built once per machine per domain, reset
+       between seeds) — the verdict bytes are independent of both the
+       session reuse and the engine, which is what lets the store replay
+       them forever. *)
+    let session = Sweep.domain_session ~engine machine in
     let report =
-      Wo_litmus.Runner.run ~runs ~base_seed ?sc_outcomes machine test
+      Wo_litmus.Runner.run ~runs ~base_seed ?sc_outcomes ~engine ~session
+        ?compiled machine test
     in
     let expected_sc =
       machine.M.sequentially_consistent
@@ -201,6 +209,10 @@ type cell = {
   c_machine : M.t;
   c_loops : bool;
   c_pkey : Sweep.program_key;
+  c_art : Wo_prog.Prog_compile.t option;
+      (** the compiled artifact behind [c_pkey] — the one compilation the
+          store key already paid for, shared by every spec and seed of
+          the case *)
 }
 
 let litmus_of_case (c : Wo_synth.Synth.case) =
@@ -236,7 +248,7 @@ let plan config ~specs ~cases =
     List.concat_map
       (fun (c : Wo_synth.Synth.case) ->
         let test = litmus_of_case c in
-        let pkey = Sweep.program_key c.Wo_synth.Synth.program in
+        let pkey, art = Sweep.program_key_art c.Wo_synth.Synth.program in
         List.map
           (fun (spec, machine, spec_json) ->
             {
@@ -249,6 +261,7 @@ let plan config ~specs ~cases =
               c_machine = machine;
               c_loops = test.L.loops;
               c_pkey = pkey;
+              c_art = art;
             })
           built)
       cases
@@ -319,20 +332,39 @@ let ensure_sc_sets memo ~domains cells =
    order.  Verdicts are deterministic in the cell alone, so any process
    settling the same cell writes the same bytes — what makes both the
    resume contract and the multi-worker merge byte-stable. *)
-let settle memo ~domains config p indices =
+let settle ?(engine = M.Compiled) memo ~domains config p indices =
   let fresh = List.map (fun idx -> p.p_cells.(idx)) indices in
   ensure_sc_sets memo ~domains fresh;
-  Sweep.parallel_map ~domains
-    (fun idx ->
-      let cell = p.p_cells.(idx) in
-      let sc_outcomes =
-        if cell.c_loops then None else sc_find memo cell.c_pkey
-      in
-      ( idx,
-        verdict_to_string
-          (evaluate ~runs:config.runs ~base_seed:config.base_seed ~sc_outcomes
-             cell.c_machine cell.c_test) ))
-    indices
+  (* Cells are laid out case-major, so consecutive indices alternate
+     specs.  Execution is regrouped spec-major: each worker's strided
+     walk then stays on one machine for long stretches, so its
+     per-domain session rebinds programs (cheap) instead of cycling
+     machines.  The verdicts are reassembled into input order — the
+     bytes cannot depend on the execution grouping. *)
+  let grouped =
+    List.stable_sort
+      (fun a b ->
+        String.compare p.p_cells.(a).c_machine.M.name
+          p.p_cells.(b).c_machine.M.name)
+      indices
+  in
+  let settled =
+    Sweep.parallel_map ~domains
+      (fun idx ->
+        let cell = p.p_cells.(idx) in
+        let sc_outcomes =
+          if cell.c_loops then None else sc_find memo cell.c_pkey
+        in
+        ( idx,
+          verdict_to_string
+            (evaluate ~engine ?compiled:cell.c_art ~runs:config.runs
+               ~base_seed:config.base_seed ~sc_outcomes cell.c_machine
+               cell.c_test) ))
+      grouped
+  in
+  let by_idx = Hashtbl.create (List.length settled) in
+  List.iter (fun (idx, v) -> Hashtbl.replace by_idx idx v) settled;
+  List.map (fun idx -> (idx, Hashtbl.find by_idx idx)) indices
 
 (* --- the sharded campaign -------------------------------------------------- *)
 
@@ -385,7 +417,7 @@ let findings_of p settled =
       | c -> c)
     !findings
 
-let run ?on_shard config ~specs ~cases =
+let run ?engine ?on_shard config ~specs ~cases =
   let domains = config_domains config in
   let p = plan config ~specs ~cases in
   let total = plan_cells p in
@@ -417,7 +449,7 @@ let run ?on_shard config ~specs ~cases =
                | None -> true)
              (shard_indices p i)
          in
-         let verdicts = settle memo ~domains config p fresh in
+         let verdicts = settle ?engine memo ~domains config p fresh in
          List.iter
            (fun (idx, s) ->
              Store.add store ~key:(cell_store_key p idx) ~value:s;

@@ -71,6 +71,8 @@ val litmus_of_case : Wo_synth.Synth.case -> Wo_litmus.Litmus.t
     classified DRF0-by-construction, [loops] from the program). *)
 
 val evaluate :
+  ?engine:Wo_machines.Machine.engine ->
+  ?compiled:Wo_prog.Prog_compile.t ->
   runs:int ->
   base_seed:int ->
   sc_outcomes:Wo_prog.Outcome.t list option ->
@@ -80,8 +82,12 @@ val evaluate :
 (** One cell's verdict: [runs] seeded runs, outcome comparison against
     [sc_outcomes] when given (loop-free tests), Lemma-1 oracle for DRF0
     tests, witness trace captured iff the promise broke.  Machine errors
-    become failing verdicts, not exceptions.  Deterministic in all
-    arguments — the store replays these forever. *)
+    become failing verdicts, not exceptions.  The seed batch runs
+    through the calling domain's reusable machine session
+    ({!Wo_workload.Sweep.domain_session}) under [engine] (default
+    [Compiled]); [compiled] passes the program's pre-compiled artifact.
+    Deterministic in the cell arguments and independent of [engine] —
+    the store replays these forever. *)
 
 type finding = {
   f_case : string;
@@ -150,13 +156,20 @@ val config_domains : config -> int
 (** The effective domain count ([domains], or the recommended count). *)
 
 val settle :
+  ?engine:Wo_machines.Machine.engine ->
   memo -> domains:int -> config -> plan -> int list -> (int * string) list
 (** Settle the given (fresh) cell indices: enumerate any missing SC
-    sets, evaluate in parallel, return [(index, verdict string)] pairs.
-    Deterministic in the cells alone — any process settling the same
-    cell produces the same bytes. *)
+    sets, evaluate in parallel, return [(index, verdict string)] pairs
+    in input order.  Execution is grouped by spec so each worker
+    domain's reusable machine session stays on one machine across
+    consecutive cells, and each case's compiled artifact (built once by
+    {!plan} for the store key) is shared across every spec and seed.
+    Deterministic in the cells alone — [engine] (default [Compiled])
+    and the grouping are pure performance knobs; any process settling
+    the same cell produces the same bytes. *)
 
 val run :
+  ?engine:Wo_machines.Machine.engine ->
   ?on_shard:(shard:int -> settled:int -> executed:int -> total:int -> unit) ->
   config ->
   specs:Wo_machines.Spec.t list ->

@@ -125,7 +125,7 @@ let sc_outcomes t (test : L.t) pkey =
    so the same bytes); [add_if_absent] keeps exactly one record. *)
 let check_cell t ~case ~spec_canon ~machine ~runs ~base_seed =
   let test = Campaign.litmus_of_case case in
-  let pkey = Sweep.program_key test.L.program in
+  let pkey, art = Sweep.program_key_art test.L.program in
   let key =
     Campaign.cell_key ~program_payload:pkey.Sweep.pk_payload
       ~spec_json:spec_canon ~runs ~base_seed
@@ -137,7 +137,10 @@ let check_cell t ~case ~spec_canon ~machine ~runs ~base_seed =
     | Error e -> raise (Bad ("stored verdict unreadable: " ^ e)))
   | None ->
     let sc = sc_outcomes t test pkey in
-    let v = Campaign.evaluate ~runs ~base_seed ~sc_outcomes:sc machine test in
+    let v =
+      Campaign.evaluate ?compiled:art ~runs ~base_seed ~sc_outcomes:sc machine
+        test
+    in
     if
       Store.Shared.add_if_absent t.store ~key
         ~value:(Campaign.verdict_to_string v)

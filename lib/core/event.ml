@@ -43,6 +43,11 @@ let read_only e = is_read e && not (is_write e)
 
 let conflicts a b = a.loc = b.loc && not (read_only a && read_only b)
 
+type rmw = Rmw_tas | Rmw_faa of value | Rmw_fn of (value -> value)
+
+let apply_rmw d old =
+  match d with Rmw_tas -> 1 | Rmw_faa n -> old + n | Rmw_fn f -> f old
+
 let pp_kind ppf k =
   Format.pp_print_string ppf
     (match k with

@@ -48,6 +48,19 @@ val is_sync : t -> bool
 
 val is_data : t -> bool
 
+type rmw =
+  | Rmw_tas  (** test-and-set: the stored value is 1 *)
+  | Rmw_faa of value  (** fetch-and-add: the stored value is [old + n] *)
+  | Rmw_fn of (value -> value)
+      (** escape hatch for arbitrary modify functions *)
+(** First-class description of a read-modify-write's modify step.  The
+    known forms ([Rmw_tas], [Rmw_faa]) are immediate data — comparable,
+    allocation-free on the hot path — while [Rmw_fn] keeps the old
+    closure generality for frontends that need it. *)
+
+val apply_rmw : rmw -> value -> value
+(** The stored value given the old value at the location. *)
+
 val conflicts : t -> t -> bool
 (** Two accesses conflict iff they access the same location and are not both
     reads (Definition 3). *)

@@ -52,3 +52,8 @@ let send t ~src ~dst msg =
 
 let messages_sent t = t.sent
 let busy t = t.busy
+
+let reset t =
+  Queue.clear t.queue;
+  t.busy <- false;
+  t.sent <- 0

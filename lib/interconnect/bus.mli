@@ -27,3 +27,7 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 val messages_sent : 'msg t -> int
 
 val busy : 'msg t -> bool
+
+val reset : 'msg t -> unit
+(** Drop queued transactions and zero the sent counter, in place; node
+    handlers stay connected.  Only sound between runs. *)

@@ -2,6 +2,7 @@ type 'msg t = {
   send : src:int -> dst:int -> 'msg -> unit;
   connect : node:int -> ('msg -> unit) -> unit;
   messages_sent : unit -> int;
+  reset : unit -> unit;
 }
 
 let of_network n =
@@ -9,6 +10,7 @@ let of_network n =
     send = (fun ~src ~dst msg -> Network.send n ~src ~dst msg);
     connect = (fun ~node handler -> Network.connect n ~node handler);
     messages_sent = (fun () -> Network.messages_sent n);
+    reset = (fun () -> Network.reset n);
   }
 
 let of_bus b =
@@ -16,4 +18,5 @@ let of_bus b =
     send = (fun ~src ~dst msg -> Bus.send b ~src ~dst msg);
     connect = (fun ~node handler -> Bus.connect b ~node handler);
     messages_sent = (fun () -> Bus.messages_sent b);
+    reset = (fun () -> Bus.reset b);
   }

@@ -8,6 +8,9 @@ type 'msg t = {
   send : src:int -> dst:int -> 'msg -> unit;
   connect : node:int -> ('msg -> unit) -> unit;
   messages_sent : unit -> int;
+  reset : unit -> unit;
+      (** drop in-flight/queued state and zero the sent counter; node
+          handlers stay connected (session reset, between runs only) *)
 }
 
 val of_network : 'msg Network.t -> 'msg t

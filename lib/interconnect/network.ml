@@ -27,3 +27,5 @@ let send t ~src ~dst msg =
       | None -> invalid_arg (Printf.sprintf "Network.send: no handler for node %d" dst))
 
 let messages_sent t = t.sent
+
+let reset t = t.sent <- 0

@@ -27,3 +27,8 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     delivered. *)
 
 val messages_sent : 'msg t -> int
+
+val reset : 'msg t -> unit
+(** Zero the sent counter; node handlers stay connected.  In-flight
+    deliveries live in the engine's queue, so this is only sound between
+    runs (after the engine has drained or been cleared). *)

@@ -26,7 +26,8 @@ let histogram_of outcomes =
      the sort is stable), so the histogram is fully deterministic. *)
   Outcome_map.bindings counts |> List.sort (fun (_, a) (_, b) -> compare b a)
 
-let run ?(runs = 100) ?(base_seed = 1) ?check_lemma1 ?sc_outcomes machine
+let run ?(runs = 100) ?(base_seed = 1) ?check_lemma1 ?sc_outcomes
+    ?(engine = Wo_machines.Machine.Compiled) ?session ?compiled machine
     (test : Litmus.t) =
   let check_lemma1 =
     match check_lemma1 with Some b -> b | None -> test.Litmus.drf0
@@ -38,11 +39,22 @@ let run ?(runs = 100) ?(base_seed = 1) ?check_lemma1 ?sc_outcomes machine
       if test.Litmus.loops then []
       else Wo_prog.Enumerate.outcomes test.Litmus.program
   in
+  (* One session for the whole seed batch: the machine is built once and
+     reset between seeds, and the program is compiled once (under the
+     compiled engine) instead of re-walked per run. *)
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Wo_machines.Machine.new_session machine engine
+  in
   let observed = ref [] in
   let lemma1_failures = ref 0 in
   let total_cycles = ref 0 in
   for seed = base_seed to base_seed + runs - 1 do
-    let r = Wo_machines.Machine.run machine ~seed test.Litmus.program in
+    let r =
+      Wo_machines.Machine.session_run session ~seed ?compiled
+        test.Litmus.program
+    in
     observed := r.Wo_machines.Machine.outcome :: !observed;
     total_cycles := !total_cycles + r.Wo_machines.Machine.cycles;
     if check_lemma1 then

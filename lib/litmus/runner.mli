@@ -32,13 +32,20 @@ type report = {
 val run :
   ?runs:int -> ?base_seed:int -> ?check_lemma1:bool ->
   ?sc_outcomes:Wo_prog.Outcome.t list ->
+  ?engine:Wo_machines.Machine.engine ->
+  ?session:Wo_machines.Machine.session ->
+  ?compiled:Wo_prog.Prog_compile.t ->
   Wo_machines.Machine.t -> Litmus.t -> report
 (** [runs] defaults to 100, seeds are [base_seed..base_seed+runs-1]
     (default 1).  [check_lemma1] (default: the test's [drf0] flag) applies
     the Lemma-1 oracle to every trace.  [sc_outcomes] supplies a
     precomputed SC outcome set, skipping the enumeration — the sweep
     driver ({!Wo_workload.Sweep}) memoizes one set per distinct program
-    and shares it across every machine/seed combination. *)
+    and shares it across every machine/seed combination.  All seeds run
+    through one machine session — [session] to share across calls
+    (it must belong to this machine), [engine] (default [Compiled])
+    selects the execution mode when the harness creates one, and
+    [compiled] passes the test program's pre-compiled artifact. *)
 
 val appears_sc : report -> bool
 (** No violations and no Lemma-1 failures. *)

@@ -119,7 +119,9 @@ let build (config : config) (env : Driver.env) : Memsys.port =
   let directory =
     Wo_cache.Directory.create ~engine ~fabric ~node:dir_node
       ~stats:env.Driver.stats ~obs:env.Driver.obs
-      ~initial:(Wo_prog.Program.initial_value env.Driver.program)
+      ~initial:(fun loc ->
+        (* read through [env]: sessions rebind the program on reset *)
+        Wo_prog.Program.initial_value env.Driver.program loc)
       ()
   in
   let caches =
@@ -132,6 +134,18 @@ let build (config : config) (env : Driver.env) : Memsys.port =
     Array.init num_procs (fun p ->
         { cache_id = p; gp_outstanding = 0; gp_zero_waiters = [] })
   in
+  (* Session reset: directory and cache lines are lazily recreated, so
+     dropping them restores the just-built state; contexts return to
+     their home caches. *)
+  Driver.on_reset env (fun () ->
+      Wo_cache.Directory.reset directory;
+      Array.iter Cache_ctrl.reset caches;
+      Array.iteri
+        (fun p ctx ->
+          ctx.cache_id <- p;
+          ctx.gp_outstanding <- 0;
+          ctx.gp_zero_waiters <- [])
+        ctxs);
   let cache_of ctx = caches.(ctx.cache_id) in
   let stall_at p reason ~until cycles =
     Driver.stall_at env ~proc:p reason ~until cycles
@@ -190,7 +204,7 @@ let build (config : config) (env : Driver.env) : Memsys.port =
         r.Memsys.committed <- at;
         r.Memsys.rv <- value;
         (match (op.Proc_frontend.payload, value) with
-        | `Rmw f, Some old -> r.Memsys.wv <- Some (f old)
+        | `Rmw f, Some old -> r.Memsys.wv <- Some (Wo_core.Event.apply_rmw f old)
         | _ -> ());
         match resume_on with
         | `Commit ->

@@ -4,16 +4,19 @@ type env = {
   stats : Wo_sim.Stats.t;
   stalls : Wo_obs.Stall.t;
   taps : Wo_obs.Tap.t;
-  obs : Wo_obs.Recorder.t;
+  mutable obs : Wo_obs.Recorder.t;
   rng : Wo_sim.Rng.t;
-  program : Wo_prog.Program.t;
+  mutable program : Wo_prog.Program.t;
   num_procs : int;
   mutable frontends : Proc_frontend.t array;
   mutable next_op_id : int;
   mutable ops_rev : Memsys.op list;
+  mutable reset_hooks : (unit -> unit) list;  (* reverse registration order *)
 }
 
 let now env = Wo_sim.Engine.now env.engine
+
+let on_reset env hook = env.reset_hooks <- hook :: env.reset_hooks
 
 let stall_at env ~proc reason ~until cycles =
   Wo_obs.Stall.add env.stalls ~sink:env.obs ~now:until ~proc reason cycles
@@ -52,13 +55,20 @@ let fabric env ~tag ?(slow_procs = []) ?(slow_routes = []) kind =
   in
   match kind with
   | Memsys.Bus { transfer_cycles } ->
-    Wo_interconnect.Fabric.of_bus
-      (Wo_interconnect.Bus.create ~engine:env.engine ~stats:env.stats ~tap
-         ~transfer_cycles ())
+    let f =
+      Wo_interconnect.Fabric.of_bus
+        (Wo_interconnect.Bus.create ~engine:env.engine ~stats:env.stats ~tap
+           ~transfer_cycles ())
+    in
+    on_reset env (fun () -> f.Wo_interconnect.Fabric.reset ());
+    f
   | Memsys.Net _ | Memsys.Net_spiky _ | Memsys.Net_fixed _ ->
     (* The network gets its own stream, split at fabric construction —
        the split position is part of every machine's reproducibility
-       contract, so keep it here and nowhere else. *)
+       contract, so keep it here and nowhere else.  On session reset
+       the parent is reseeded and the hooks replay the splits in
+       registration (= construction) order, so the stream is restored
+       to exactly its fresh-construction state. *)
     let net_rng = Wo_sim.Rng.split env.rng in
     let latency =
       Wo_interconnect.Latency.of_spec net_rng
@@ -72,9 +82,15 @@ let fabric env ~tag ?(slow_procs = []) ?(slow_routes = []) kind =
       if slow_routes = [] then latency
       else Wo_interconnect.Latency.scale_routes slow_routes latency
     in
-    Wo_interconnect.Fabric.of_network
-      (Wo_interconnect.Network.create ~engine:env.engine ~stats:env.stats ~tap
-         ~latency ())
+    let f =
+      Wo_interconnect.Fabric.of_network
+        (Wo_interconnect.Network.create ~engine:env.engine ~stats:env.stats ~tap
+           ~latency ())
+    in
+    on_reset env (fun () ->
+        f.Wo_interconnect.Fabric.reset ();
+        Wo_sim.Rng.split_into env.rng net_rng);
+    f
 
 (* Watchdog diagnostics: every machine reports the rich form — frontend
    positions plus whatever protocol detail the port supplies. *)
@@ -94,36 +110,45 @@ let watchdog_report env (port : Memsys.port) =
     (now env) positions
     (if shared = "" then "" else " " ^ shared)
 
-let run ~name ~local_cost ~build ~seed (program : Wo_prog.Program.t) :
-    Machine.result =
-  let env =
-    {
-      name;
-      engine = Wo_sim.Engine.create ();
-      stats = Wo_sim.Stats.create ();
-      stalls = Wo_obs.Stall.create ();
-      taps = Wo_obs.Tap.create ();
-      obs = Wo_obs.Recorder.active ();
-      rng = Wo_sim.Rng.make seed;
-      program;
-      num_procs = Wo_prog.Program.num_procs program;
-      frontends = [||];
-      next_op_id = 0;
-      ops_rev = [];
-    }
-  in
-  let port = build env in
-  let finish_times = Array.make env.num_procs (-1) in
-  env.frontends <-
-    Array.init env.num_procs (fun p ->
-        Proc_frontend.create ~engine:env.engine ~proc:p
-          ~code:program.Wo_prog.Program.threads.(p)
-          ~local_cost
-          ~perform:(function
-            | Proc_frontend.Access op -> port.Memsys.perform p op
-            | Proc_frontend.Fence -> port.Memsys.fence p)
-          ~on_finish:(fun () -> finish_times.(p) <- now env)
-          ());
+let build_env ~name ~seed (program : Wo_prog.Program.t) =
+  {
+    name;
+    engine = Wo_sim.Engine.create ();
+    stats = Wo_sim.Stats.create ();
+    stalls = Wo_obs.Stall.create ();
+    taps = Wo_obs.Tap.create ();
+    obs = Wo_obs.Recorder.active ();
+    rng = Wo_sim.Rng.make seed;
+    program;
+    num_procs = Wo_prog.Program.num_procs program;
+    frontends = [||];
+    next_op_id = 0;
+    ops_rev = [];
+    reset_hooks = [];
+  }
+
+(* Restore a built environment to exactly the state a fresh
+   [build_env]+[build] at this seed would produce: clear the engine
+   (watchdog-aborted runs leave parked closures), observability and
+   operation log; reseed the root RNG; replay component hooks in
+   registration order (draw replay + in-place component clears). *)
+let reset env ~seed ~(program : Wo_prog.Program.t) =
+  Wo_sim.Engine.clear env.engine;
+  Wo_sim.Stats.clear env.stats;
+  Wo_obs.Stall.clear env.stalls;
+  Wo_obs.Tap.clear env.taps;
+  env.obs <- Wo_obs.Recorder.active ();
+  Wo_sim.Rng.reseed env.rng seed;
+  env.program <- program;
+  env.next_op_id <- 0;
+  env.ops_rev <- [];
+  List.iter (fun f -> f ()) (List.rev env.reset_hooks)
+
+(* The run loop and result assembly, shared by the fresh path and
+   sessions.  [copy_obs] deep-copies the mutable observability state
+   into the result so a later in-place reset cannot disturb it; the
+   copies Marshal identically to the originals. *)
+let execute env (port : Memsys.port) finish_times ~copy_obs =
   Array.iter Proc_frontend.start env.frontends;
   (match Wo_sim.Engine.run env.engine with
   | `Idle -> ()
@@ -134,11 +159,12 @@ let run ~name ~local_cost ~build ~seed (program : Wo_prog.Program.t) :
       if not (Proc_frontend.finished fe) then
         raise
           (Machine.Machine_error
-             (Printf.sprintf "%s: deadlock: P%d %s\n%s" name p
+             (Printf.sprintf "%s: deadlock: P%d %s\n%s" env.name p
                 (Proc_frontend.current_position fe)
                 (port.Memsys.debug_dump ()))))
     env.frontends;
   port.Memsys.check_drained ();
+  let program = env.program in
   let memory =
     List.map
       (fun loc -> (loc, port.Memsys.final_value loc))
@@ -166,7 +192,7 @@ let run ~name ~local_cost ~build ~seed (program : Wo_prog.Program.t) :
              (Printf.sprintf
                 "%s: operation %d (P%d seq %d %s loc %d, committed=%d \
                  performed=%d) never completed\n%s"
-                name r.id r.oproc r.oseq
+                env.name r.id r.oproc r.oseq
                 (Format.asprintf "%a" Wo_core.Event.pp_kind r.okind)
                 r.oloc r.committed r.performed
                 (port.Memsys.debug_dump ())));
@@ -189,9 +215,123 @@ let run ~name ~local_cost ~build ~seed (program : Wo_prog.Program.t) :
     (List.rev env.ops_rev);
   Machine.make_result
     ~outcome:(Wo_prog.Outcome.make ~registers ~memory)
-    ~trace ~cycles:(now env) ~proc_finish:finish_times
+    ~trace ~cycles:(now env)
+    ~proc_finish:(if copy_obs then Array.copy finish_times else finish_times)
     ~stats:(Wo_sim.Stats.to_list env.stats)
-    ~stalls:env.stalls ~taps:env.taps ()
+    ~stalls:(if copy_obs then Wo_obs.Stall.copy env.stalls else env.stalls)
+    ~taps:(if copy_obs then Wo_obs.Tap.copy env.taps else env.taps)
+    ()
+
+let frontend_perform (port : Memsys.port) p = function
+  | Proc_frontend.Access op -> port.Memsys.perform p op
+  | Proc_frontend.Fence -> port.Memsys.fence p
+
+let run ~name ~local_cost ~build ~seed (program : Wo_prog.Program.t) :
+    Machine.result =
+  Machine.note_run ();
+  let env = build_env ~name ~seed program in
+  let port = build env in
+  let finish_times = Array.make env.num_procs (-1) in
+  env.frontends <-
+    Array.init env.num_procs (fun p ->
+        Proc_frontend.create ~engine:env.engine ~proc:p
+          ~code:program.Wo_prog.Program.threads.(p)
+          ~local_cost
+          ~perform:(frontend_perform port p)
+          ~on_finish:(fun () -> finish_times.(p) <- now env)
+          ());
+  execute env port finish_times ~copy_obs:false
+
+(* --- sessions --------------------------------------------------------------- *)
+
+type session_state = {
+  senv : env;
+  sport : Memsys.port;
+  sfinish : int array;
+  (* Current frontend binding; compared physically so rebinding the same
+     program object is free. *)
+  mutable sprog : Wo_prog.Program.t;
+  mutable sart : Wo_prog.Prog_compile.t option;
+}
+
+let new_session ~name ~local_cost ~build (engine : Machine.engine) :
+    Machine.session =
+  let state : session_state option ref = ref None in
+  let session_run ~seed ?compiled program =
+    Machine.note_run ();
+    let num_procs = Wo_prog.Program.num_procs program in
+    (* Resolve the artifact for this run under the requested engine,
+       reusing the previous compilation while the same program object
+       stays bound. *)
+    let art =
+      match engine with
+      | Machine.Ast -> None
+      | Machine.Compiled -> (
+        match compiled with
+        | Some _ -> compiled
+        | None -> (
+          match !state with
+          | Some st when st.sprog == program && st.senv.num_procs = num_procs
+            ->
+            st.sart
+          | _ -> Wo_prog.Prog_compile.compile program))
+    in
+    if engine = Machine.Compiled && art = None then
+      Machine.note_compile_fallback ();
+    let st =
+      match !state with
+      | Some st when st.senv.num_procs = num_procs ->
+        Machine.note_session_reuse ();
+        st
+      | _ ->
+        (* First run, or a different machine width: (re)build the whole
+           stack — ports and frontends capture [num_procs] in their
+           closures and topology. *)
+        let env = build_env ~name ~seed program in
+        let port = build env in
+        let finish = Array.make num_procs (-1) in
+        env.frontends <-
+          Array.init num_procs (fun p ->
+              Proc_frontend.create ~engine:env.engine ~proc:p
+                ~code:program.Wo_prog.Program.threads.(p)
+                ~local_cost ?compiled:art
+                ~perform:(frontend_perform port p)
+                ~on_finish:(fun () -> finish.(p) <- now env)
+                ());
+        let st =
+          { senv = env; sport = port; sfinish = finish; sprog = program;
+            sart = art }
+        in
+        state := Some st;
+        st
+    in
+    let env = st.senv in
+    (* Reset unconditionally — also right after build, so the first run
+       goes down the same path, and after a [Machine_error] run, whose
+       debris (parked engine events, partial protocol state) must not
+       leak into the next seed. *)
+    reset env ~seed ~program;
+    let same_binding =
+      st.sprog == program
+      && (match (st.sart, art) with
+         | None, None -> true
+         | Some a, Some b -> a == b
+         | _ -> false)
+    in
+    if same_binding then Array.iter Proc_frontend.reset env.frontends
+    else begin
+      Array.iteri
+        (fun p fe ->
+          Proc_frontend.rebind fe ?compiled:art
+            program.Wo_prog.Program.threads.(p))
+        env.frontends;
+      st.sprog <- program;
+      st.sart <- art
+    end;
+    Array.fill st.sfinish 0 (Array.length st.sfinish) (-1);
+    execute env st.sport st.sfinish ~copy_obs:true
+  in
+  { Machine.session_machine = name; session_engine = engine; session_run }
 
 let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
     ~local_cost ~build : Machine.t =
@@ -201,4 +341,5 @@ let make ~name ~description ~sequentially_consistent ~weakly_ordered_drf0
     sequentially_consistent;
     weakly_ordered_drf0;
     run = (fun ~seed program -> run ~name ~local_cost ~build ~seed program);
+    new_session = (fun engine -> new_session ~name ~local_cost ~build engine);
   }

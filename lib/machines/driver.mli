@@ -7,7 +7,15 @@
     watchdog with rich per-processor diagnostics, operation lifecycle
     bookkeeping and result assembly.  A memory system contributes only a
     {!Memsys.port}; see {!Uncached} and {!Coherent} for the two shipped
-    protocols. *)
+    protocols.
+
+    Two execution paths share the run loop: {!run} builds everything
+    fresh (the oracle), and {!new_session} builds once per machine
+    shape, then resets the environment in place between runs.  A port
+    builder that keeps mutable state must register an {!on_reset} hook
+    restoring it to its just-built state; the driver replays hooks in
+    registration order after reseeding [env.rng], so RNG splits recorded
+    in hooks restore component streams exactly. *)
 
 type env = {
   name : string;
@@ -15,19 +23,30 @@ type env = {
   stats : Wo_sim.Stats.t;
   stalls : Wo_obs.Stall.t;
   taps : Wo_obs.Tap.t;
-  obs : Wo_obs.Recorder.t;
+  mutable obs : Wo_obs.Recorder.t;  (** refreshed from the ambient sink on reset *)
   rng : Wo_sim.Rng.t;  (** seed stream; split it per component *)
-  program : Wo_prog.Program.t;
+  mutable program : Wo_prog.Program.t;
+      (** the program of the current run; rebound by session resets, so
+          ports must read it through [env], never capture it *)
   num_procs : int;
+      (** fixed for the life of the environment — sessions rebuild when
+          the width changes *)
   mutable frontends : Proc_frontend.t array;
       (** filled by the driver after [build] returns; valid whenever the
           engine is running *)
   mutable next_op_id : int;
   mutable ops_rev : Memsys.op list;
+  mutable reset_hooks : (unit -> unit) list;
 }
-(** The per-run environment handed to a port builder. *)
+(** The environment handed to a port builder. *)
 
 val now : env -> int
+
+val on_reset : env -> (unit -> unit) -> unit
+(** Register a hook restoring component state on session reset.  Hooks
+    run in registration order, after the engine/stats/stalls/taps are
+    cleared and [env.rng] is reseeded — so a hook that re-splits the
+    root RNG reproduces the draw its component took at build time. *)
 
 val stall : env -> proc:int -> Wo_obs.Stall.reason -> int -> unit
 (** Attribute stall cycles ending now. *)
@@ -63,7 +82,8 @@ val fabric :
     [slow_routes] wrap the model with node / route multipliers
     ({!Wo_interconnect.Latency.scale_nodes} / [scale_routes]); they are
     ignored by the bus, as before.  Every delivered message is recorded
-    in [env.taps] under [tag msg]. *)
+    in [env.taps] under [tag msg].  Registers its own {!on_reset} hook
+    (state drop + stream re-split), so builders need not. *)
 
 val run :
   name:string ->
@@ -80,6 +100,24 @@ val run :
     on livelock (event limit), deadlock (unfinished frontend), leftover
     protocol state or an operation that never completed. *)
 
+val new_session :
+  name:string ->
+  local_cost:int ->
+  build:(env -> Memsys.port) ->
+  Machine.engine ->
+  Machine.session
+(** A reusable context over the same [build].  The memory system, port
+    and frontends are constructed on the first run (and again only if a
+    program with a different processor count arrives); every run starts
+    by resetting the environment in place — including the first, and
+    including after a {!Machine.Machine_error} run, whose debris must
+    not leak into the next seed.  Under [Compiled] the frontends step
+    the program's {!Wo_prog.Prog_compile} artifact (supplied per run or
+    compiled at binding and cached while the same program stays bound),
+    falling back to the AST walk when compilation is unavailable.
+    Results are deep-copied out of the mutable observability state and
+    are byte-identical to fresh {!run} results. *)
+
 val make :
   name:string ->
   description:string ->
@@ -88,4 +126,4 @@ val make :
   local_cost:int ->
   build:(env -> Memsys.port) ->
   Machine.t
-(** Package {!run} as a {!Machine.t}. *)
+(** Package {!run} and {!new_session} as a {!Machine.t}. *)

@@ -17,6 +17,24 @@ let run ~seed program =
     ~taps:(Wo_obs.Tap.create ())
     ()
 
+let run ~seed program =
+  Machine.note_run ();
+  run ~seed program
+
+(* The interpreter holds no reusable machinery, so an ideal session is
+   just the fresh run — it still answers the session interface so every
+   machine can be batch-driven uniformly. *)
+let new_session engine =
+  let first = ref true in
+  {
+    Machine.session_machine = "ideal";
+    session_engine = engine;
+    session_run =
+      (fun ~seed ?compiled:_ program ->
+        if !first then first := false else Machine.note_session_reuse ();
+        run ~seed program);
+  }
+
 let machine =
   {
     Machine.name = "ideal";
@@ -26,4 +44,5 @@ let machine =
     sequentially_consistent = true;
     weakly_ordered_drf0 = true;
     run;
+    new_session;
   }

@@ -10,15 +10,67 @@ type result = {
   taps : Wo_obs.Tap.t;
 }
 
+type engine = Compiled | Ast
+
+let engine_name = function Compiled -> "compiled" | Ast -> "ast"
+
+let engine_of_string = function
+  | "compiled" -> Some Compiled
+  | "ast" -> Some Ast
+  | _ -> None
+
+type session = {
+  session_machine : string;
+  session_engine : engine;
+  session_run :
+    seed:int -> ?compiled:Wo_prog.Prog_compile.t -> Wo_prog.Program.t -> result;
+}
+
 type t = {
   name : string;
   description : string;
   sequentially_consistent : bool;
   weakly_ordered_drf0 : bool;
   run : seed:int -> Wo_prog.Program.t -> result;
+  new_session : engine -> session;
 }
 
 let run t ?(seed = 0) program = t.run ~seed program
+
+let new_session t engine = t.new_session engine
+
+let session_run s ?(seed = 0) ?compiled program =
+  s.session_run ~seed ?compiled program
+
+let run_batch s ?compiled ~seeds program =
+  List.map (fun seed -> s.session_run ~seed ?compiled program) seeds
+
+(* --- run accounting --------------------------------------------------------- *)
+
+(* Atomics: sweep/campaign workers run machines from several domains. *)
+let runs_count = Atomic.make 0
+let session_reuse_count = Atomic.make 0
+let compile_fallback_count = Atomic.make 0
+
+let note_run () = Atomic.incr runs_count
+let note_session_reuse () = Atomic.incr session_reuse_count
+let note_compile_fallback () = Atomic.incr compile_fallback_count
+
+let runs () = Atomic.get runs_count
+let session_reuses () = Atomic.get session_reuse_count
+let compile_fallbacks () = Atomic.get compile_fallback_count
+
+let emit_counters () =
+  let r = Wo_obs.Recorder.active () in
+  if Wo_obs.Recorder.enabled r then begin
+    let c name value =
+      Wo_obs.Recorder.counter r ~cat:Wo_obs.Recorder.Proc ~track:0 ~name ~ts:0
+        ~value
+    in
+    c "machine.runs" (runs ());
+    c "machine.session_reuse" (session_reuses ());
+    c "machine.compile_fallbacks" (compile_fallbacks ())
+  end
 
 (* The one place the legacy [P<i>.stall.<reason>] stats view is derived
    from the typed accounts; machines pass only their own counters. *)

@@ -30,6 +30,33 @@ type result = {
           histograms *)
 }
 
+type engine = Compiled | Ast
+(** How a session executes thread code: [Compiled] steps the int-coded
+    {!Wo_prog.Prog_compile} artifact (falling back to the AST per
+    program when compilation is unavailable); [Ast] always walks the
+    instruction tree.  Both produce byte-identical results. *)
+
+val engine_name : engine -> string
+(** ["compiled"] / ["ast"]. *)
+
+val engine_of_string : string -> engine option
+
+type session = {
+  session_machine : string;  (** owning machine's name *)
+  session_engine : engine;
+  session_run :
+    seed:int -> ?compiled:Wo_prog.Prog_compile.t -> Wo_prog.Program.t -> result;
+}
+(** A reusable execution context: the memory system, interconnect and
+    frontends are built once and reset in place between runs, so a batch
+    of seeds (or of programs on the same machine shape) avoids
+    per-run construction entirely.  Results are byte-identical
+    ([Marshal]-fingerprint-equal) to fresh {!run} results at every seed.
+    [compiled] supplies a pre-compiled artifact for the program (e.g. a
+    campaign's memoised compilation); without it a [Compiled] session
+    compiles on first binding and reuses the artifact while the same
+    program stays bound. *)
+
 type t = {
   name : string;
   description : string;
@@ -40,10 +67,48 @@ type t = {
   weakly_ordered_drf0 : bool;
       (** whether this machine is expected to appear SC to DRF0 programs *)
   run : seed:int -> Wo_prog.Program.t -> result;
+  new_session : engine -> session;
 }
 
 val run : t -> ?seed:int -> Wo_prog.Program.t -> result
+(** One fresh-construction AST run ([seed] defaults to 0) — the oracle
+    the compiled/session paths are checked against. *)
+
+val new_session : t -> engine -> session
+
+val session_run :
+  session ->
+  ?seed:int ->
+  ?compiled:Wo_prog.Prog_compile.t ->
+  Wo_prog.Program.t ->
+  result
 (** [seed] defaults to 0. *)
+
+val run_batch :
+  session ->
+  ?compiled:Wo_prog.Prog_compile.t ->
+  seeds:int list ->
+  Wo_prog.Program.t ->
+  result list
+(** Run one program at each seed through the session, in order. *)
+
+(** {2 Run accounting}
+
+    Process-wide counters (atomic — sweep workers run machines on
+    several domains): total machine runs, runs that reused a session's
+    built state, and runs where a [Compiled] engine fell back to the
+    AST walker. *)
+
+val note_run : unit -> unit
+val note_session_reuse : unit -> unit
+val note_compile_fallback : unit -> unit
+val runs : unit -> int
+val session_reuses : unit -> int
+val compile_fallbacks : unit -> int
+
+val emit_counters : unit -> unit
+(** Emit [machine.runs] / [machine.session_reuse] /
+    [machine.compile_fallbacks] to the active recorder, if enabled. *)
 
 val make_result :
   outcome:Wo_prog.Outcome.t ->

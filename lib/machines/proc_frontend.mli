@@ -1,10 +1,22 @@
 (** Shared processor front-end.
 
-    Walks one thread's instruction AST, executing local computation at a
-    configurable cost per instruction and handing every memory operation to
-    the owning machine.  The machine decides when the processor may proceed
-    (this is exactly where the ordering policies differ) by calling
-    {!resume}; until then the front-end is blocked.
+    Walks one thread's instruction stream, executing local computation at
+    a configurable cost per instruction and handing every memory
+    operation to the owning machine.  The machine decides when the
+    processor may proceed (this is exactly where the ordering policies
+    differ) by calling {!resume}; until then the front-end is blocked.
+
+    Two interchangeable execution modes produce identical event streams:
+
+    - {b AST mode} walks the {!Wo_prog.Instr} tree directly, with a dense
+      sorted-array register file.  It is the oracle.
+    - {b Compiled mode} steps a {!Wo_prog.Prog_compile} artifact: dense
+      int-array registers, stride-4 opcode decoding, no list traversal
+      and no closure allocation for known RMW forms.  Unconditional jumps
+      (the join after an [If], the back edge of a [While]) are resolved
+      for free, mirroring the AST walker's costless list concatenation,
+      so both modes schedule exactly the same engine events at the same
+      times.
 
     Expressions are evaluated at issue time, which is sound because the
     front-end never runs ahead of an operation whose result a later
@@ -14,10 +26,10 @@ type memory_op = {
   kind : Wo_core.Event.kind;
   loc : Wo_core.Event.loc;
   payload :
-    [ `Read
-    | `Write of Wo_core.Event.value
-    | `Rmw of Wo_core.Event.value -> Wo_core.Event.value ];
-  dest : Wo_prog.Instr.reg option;  (** register receiving the read value *)
+    [ `Read | `Write of Wo_core.Event.value | `Rmw of Wo_core.Event.rmw ];
+  dest : Wo_prog.Instr.reg option;
+      (** register receiving the read value; in compiled mode this is the
+          flat register index, opaque to the machine either way *)
   seq : int;  (** program-order position of this operation *)
 }
 
@@ -34,6 +46,7 @@ val create :
   proc:Wo_core.Event.proc ->
   code:Wo_prog.Instr.t list ->
   ?local_cost:int ->
+  ?compiled:Wo_prog.Prog_compile.t ->
   perform:(request -> unit) ->
   on_finish:(unit -> unit) ->
   unit ->
@@ -41,7 +54,19 @@ val create :
 (** [local_cost] (default 1) is the cycles charged per local instruction
     and per memory-operation issue.  [perform] receives each memory
     operation; the machine must eventually call {!resume}.  [on_finish]
-    fires once, when the thread's last instruction has completed. *)
+    fires once, when the thread's last instruction has completed.  When
+    [compiled] is given the front-end runs the artifact's int code for
+    [proc] instead of walking [code]. *)
+
+val reset : t -> unit
+(** Rewind to the start of the bound program: registers zeroed, sequence
+    counter zeroed, status back to the initial (blocked) state.  The next
+    {!start} replays the thread exactly as after {!create}. *)
+
+val rebind : t -> ?compiled:Wo_prog.Prog_compile.t -> Wo_prog.Instr.t list -> unit
+(** Bind a different program (same engine, proc, cost and machine
+    callbacks) and {!reset}.  Register storage is reused when shapes
+    match, so rebinding to the same program allocates nothing. *)
 
 val start : t -> unit
 (** Schedule the first advance at the current time. *)
@@ -62,7 +87,7 @@ val proc : t -> Wo_core.Event.proc
 
 val registers : t -> (Wo_prog.Instr.reg * Wo_core.Event.value) list
 (** Current register file, sorted, restricted to registers the thread's
-    code mentions. *)
+    code mentions.  Identical across modes. *)
 
 val current_position : t -> string
 (** Human-readable description of where the thread is (for deadlock

@@ -22,7 +22,7 @@ type amsg =
   | M_write of { loc : Wo_core.Event.loc; value : Wo_core.Event.value; proc : int; tag : int }
   | M_rmw of {
       loc : Wo_core.Event.loc;
-      f : Wo_core.Event.value -> Wo_core.Event.value;
+      f : Wo_core.Event.rmw;
       proc : int;
       tag : int;
     }
@@ -89,7 +89,7 @@ let build (config : config) (env : Driver.env) : Memsys.port =
             (M_write_ack { tag; applied_at = Wo_sim.Engine.now engine })
         | M_rmw { loc; f; proc; tag } ->
           let old = mem_read loc in
-          Hashtbl.replace memory loc (f old);
+          Hashtbl.replace memory loc (Wo_core.Event.apply_rmw f old);
           fabric.Wo_interconnect.Fabric.send ~src:node ~dst:proc
             (M_rmw_reply { tag; old; applied_at = Wo_sim.Engine.now engine })
         | M_read_reply _ | M_write_ack _ | M_rmw_reply _ ->
@@ -112,6 +112,23 @@ let build (config : config) (env : Driver.env) : Memsys.port =
   let by_tag : (int, Memsys.op * (Memsys.op -> unit)) Hashtbl.t =
     Hashtbl.create 64
   in
+  (* Session reset: back to the just-built state.  Hashtbl.reset (not
+     clear) restores initial capacity, so the tables regrow exactly as a
+     fresh build's would. *)
+  Driver.on_reset env (fun () ->
+      Hashtbl.reset memory;
+      next_tag := 0;
+      Hashtbl.reset by_tag;
+      Array.iter
+        (fun ctx ->
+          (match ctx.buffer with
+          | Some b -> Wo_cache.Write_buffer.clear b
+          | None -> ());
+          Hashtbl.reset ctx.loc_states;
+          ctx.outstanding_acks <- 0;
+          ctx.drain_active <- false;
+          ctx.quiet_waiters <- [])
+        ctxs);
   let stall p reason cycles = Driver.stall env ~proc:p reason cycles in
   let send_with_reply p msg_of_tag (r : Memsys.op) k =
     let tag = !next_tag in
@@ -251,7 +268,7 @@ let build (config : config) (env : Driver.env) : Memsys.port =
           check_quiet ctx;
           stall p reason (now () - r.Memsys.issued);
           (match (r.Memsys.rv, op.Proc_frontend.payload) with
-          | Some old, `Rmw f -> r.Memsys.wv <- Some (f old)
+          | Some old, `Rmw d -> r.Memsys.wv <- Some (Wo_core.Event.apply_rmw d old)
           | _ -> ());
           let store =
             match (op.Proc_frontend.dest, r.Memsys.rv) with

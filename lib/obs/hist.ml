@@ -9,6 +9,9 @@ type t = {
 
 let create () = { counts = Array.make nbuckets 0; n = 0; total = 0; max_v = 0 }
 
+let copy t =
+  { counts = Array.copy t.counts; n = t.n; total = t.total; max_v = t.max_v }
+
 (* bucket 0: value 0; bucket i>0: values in [2^(i-1), 2^i). *)
 let bucket_of v =
   let v = max 0 v in

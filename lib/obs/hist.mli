@@ -9,6 +9,9 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** Deep copy — the snapshot no longer aliases the live histogram. *)
+
 val add : t -> int -> unit
 (** Negative values clamp to zero. *)
 

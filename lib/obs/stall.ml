@@ -58,6 +58,16 @@ type t = {
 
 let create () = { cells = [||]; grand_total = 0 }
 
+(* Back to the freshly-created shape — rows regrow lazily, so a cleared
+   collector evolves exactly like a new one (same array lengths at every
+   point of the next run, hence identical Marshal fingerprints). *)
+let clear t =
+  t.cells <- [||];
+  t.grand_total <- 0
+
+let copy t =
+  { cells = Array.map Array.copy t.cells; grand_total = t.grand_total }
+
 let ensure t proc =
   if proc >= Array.length t.cells then begin
     let cells = Array.make (proc + 1) [||] in

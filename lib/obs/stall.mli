@@ -48,6 +48,13 @@ type t
 
 val create : unit -> t
 
+val clear : t -> unit
+(** Forget everything, in place, returning the collector to its
+    freshly-created shape (rows regrow lazily on the next run). *)
+
+val copy : t -> t
+(** Deep copy — identical contents and array shapes, no aliasing. *)
+
 val add : t -> ?sink:Recorder.t -> ?now:int -> proc:int -> reason -> int -> unit
 (** Attribute [cycles] to [(proc, reason)]; non-positive counts are
     ignored.  With [~sink] and [~now] (the cycle the wait ended), also

@@ -2,6 +2,16 @@ type t = (string, Hist.t) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
+let clear (t : t) = Hashtbl.reset t
+
+let copy (t : t) : t =
+  (* Hashtbl.copy preserves bucket structure, so the copy Marshals
+     identically to the original; rebuilding via add would reverse
+     multi-entry buckets. *)
+  let c = Hashtbl.copy t in
+  Hashtbl.filter_map_inplace (fun _ h -> Some (Hist.copy h)) c;
+  c
+
 let record t ~name ~latency =
   let h =
     match Hashtbl.find_opt t name with

@@ -9,6 +9,12 @@ type t
 
 val create : unit -> t
 
+val clear : t -> unit
+(** Forget every tap, in place. *)
+
+val copy : t -> t
+(** Deep copy (histograms included) — no aliasing of the live taps. *)
+
 val record : t -> name:string -> latency:int -> unit
 
 val to_list : t -> (string * int * Hist.t) list

@@ -59,6 +59,22 @@ let now t = t.now
 
 let pending t = t.size
 
+(* Full clear, not just [size <- 0]: a run aborted by a time/event limit
+   leaves parked closures in [fns] and a partially-consumed free stack,
+   so every slot is reset and every closure dropped — the cleared engine
+   retains nothing from the previous simulation and schedules events in
+   exactly the order a fresh [create] would (time 0, seq 0). *)
+let clear t =
+  t.now <- 0;
+  t.size <- 0;
+  t.seq <- 0;
+  let cap = Array.length t.times in
+  for i = 0 to cap - 1 do
+    t.free.(i) <- i;
+    t.fns.(i) <- ignore
+  done;
+  t.free_top <- cap
+
 let grow t =
   let cap = Array.length t.times in
   let extend a fill =
@@ -156,6 +172,21 @@ let schedule_at t ~time f =
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now + delay) f
+
+(* Sound exactly when no pending event is due at or before the target
+   tick: then the evented execution would pop our continuation next
+   anyway, with nothing running in between to claim a sequence number.
+   Advancing [now] and burning one seq reproduces the evented (time,
+   seq) assignment for every subsequent [schedule], so execution order —
+   and therefore every simulation observable — is unchanged. *)
+let try_step_inline t ~delay =
+  if delay < 0 then invalid_arg "Engine.try_step_inline: negative delay";
+  if t.size > 0 && Array.unsafe_get t.times 0 <= t.now + delay then false
+  else begin
+    t.now <- t.now + delay;
+    t.seq <- t.seq + 1;
+    true
+  end
 
 (* Pop the minimum, clearing its closure slot so the engine does not
    retain the closure (and whatever simulation state it captures) after

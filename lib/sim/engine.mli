@@ -43,6 +43,32 @@ end
     current tick's batch first. *)
 include S
 
+val clear : t -> unit
+(** Reset the engine to its just-created state — time 0, sequence 0, no
+    pending events — while keeping the grown heap arrays, so a session
+    that reuses one engine across many runs pays no per-run allocation.
+    Closures parked by an aborted (time/event-limited) run are dropped;
+    event ordering after [clear] is identical to a fresh [create]. *)
+
+val try_step_inline : t -> delay:int -> bool
+(** Inline-step fast path for self-rescheduling handlers.  When the
+    handler currently executing would [schedule] its own continuation at
+    [now + delay] and no pending event is due at or before that tick,
+    the heap round-trip is pure overhead: nothing can run in between, so
+    the continuation may execute immediately inside the current handler.
+    [try_step_inline] checks that condition; on success it advances [now]
+    by [delay] and burns the sequence number the skipped [schedule] would
+    have claimed, so every later event receives exactly the (time, seq)
+    key it would have under the evented execution — same-tick FIFO order,
+    and therefore simulation results, are bit-for-bit unchanged.  On
+    failure (some event is due first) it does nothing and the caller must
+    [schedule] as usual.
+
+    Callers must only invoke this from within a running event (never
+    around [run] — externally scheduled events may not be queued yet) and
+    should bound consecutive inline steps so [run]'s [max_events]
+    livelock backstop still observes runaway handlers. *)
+
 module Reference : S
 (** The original [Map.Make(Int)]-of-lists engine, kept as the oracle the
     heap is property-tested against (same schedule sequence, same

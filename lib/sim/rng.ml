@@ -13,7 +13,11 @@ let next t =
 
 let make seed = { state = mix (Int64.of_int (seed * 2 + 1)) }
 
+let reseed t seed = t.state <- mix (Int64.of_int ((seed * 2) + 1))
+
 let split t = { state = mix (next t) }
+
+let split_into parent child = child.state <- mix (next parent)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

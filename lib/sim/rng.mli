@@ -10,9 +10,20 @@ type t
 
 val make : int -> t
 
+val reseed : t -> int -> unit
+(** [reseed t seed] puts [t] in exactly the state [make seed] would
+    create, in place — generators split from [t] afterwards see the same
+    streams as if everything had been built fresh from [seed]. *)
+
 val split : t -> t
 (** A new generator with an independent stream, deterministic in the state
     of [t] (advances [t]). *)
+
+val split_into : t -> t -> unit
+(** [split_into parent child] re-derives [child]'s stream from [parent]
+    in place — the same draw as {!split} (advances [parent]), but
+    targeting an existing generator whose identity other components
+    already hold. *)
 
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound); [bound] must be positive. *)

@@ -2,6 +2,8 @@ type t = (string, int) Hashtbl.t
 
 let create () = Hashtbl.create 32
 
+let clear t = Hashtbl.reset t
+
 let get t name = match Hashtbl.find_opt t name with Some v -> v | None -> 0
 
 let add t name n = Hashtbl.replace t name (get t name + n)

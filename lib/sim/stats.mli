@@ -4,6 +4,10 @@ type t
 
 val create : unit -> t
 
+val clear : t -> unit
+(** Drop every counter, in place — components holding this collector see
+    an empty one, as after {!create}. *)
+
 val incr : t -> string -> unit
 
 val add : t -> string -> int -> unit

@@ -80,10 +80,11 @@ type litmus_campaign = {
    wrong memoized SC outcome set. *)
 type program_key = { pk_digest : Digest.t; pk_payload : string }
 
-let program_key (p : Wo_prog.Program.t) =
+let program_key_art (p : Wo_prog.Program.t) =
+  let art = Wo_prog.Prog_compile.compile p in
   let payload =
-    match Wo_prog.Prog_compile.encode_program p with
-    | Some enc -> "C" ^ enc
+    match art with
+    | Some a -> "C" ^ Wo_prog.Prog_compile.encoding a
     | None ->
       "M"
       ^ Marshal.to_string
@@ -92,7 +93,9 @@ let program_key (p : Wo_prog.Program.t) =
             p.Wo_prog.Program.observable )
           []
   in
-  { pk_digest = Digest.string payload; pk_payload = payload }
+  ({ pk_digest = Digest.string payload; pk_payload = payload }, art)
+
+let program_key p = fst (program_key_art p)
 
 let key_equal a b =
   a.pk_digest = b.pk_digest && String.equal a.pk_payload b.pk_payload
@@ -124,7 +127,30 @@ let key_tests tests =
     (fun (t : Wo_litmus.Litmus.t) -> (t, program_key t.Wo_litmus.Litmus.program))
     tests
 
-let litmus_campaign_keyed ?runs ?base_seed ?domains ~machines keyed =
+(* --- per-domain machine sessions ------------------------------------------- *)
+
+(* One reusable session per (machine, engine) per domain, so a sweep
+   builds each machine's fabric/memory system once per worker instead of
+   once per cell×seed.  Keyed by machine name with a physical-identity
+   check: a later campaign that rebuilds a machine under the same name
+   gets a fresh session, never one aliasing the dead machine's state. *)
+let session_dls :
+    (string, Wo_machines.Machine.t * Wo_machines.Machine.engine * Wo_machines.Machine.session)
+    Hashtbl.t
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let domain_session ~engine (m : Wo_machines.Machine.t) =
+  let tbl = Domain.DLS.get session_dls in
+  match Hashtbl.find_opt tbl m.Wo_machines.Machine.name with
+  | Some (m', engine', s) when m' == m && engine' = engine -> s
+  | _ ->
+    let s = Wo_machines.Machine.new_session m engine in
+    Hashtbl.replace tbl m.Wo_machines.Machine.name (m, engine, s);
+    s
+
+let litmus_campaign_keyed ?runs ?base_seed ?domains
+    ?(engine = Wo_machines.Machine.Compiled) ~machines keyed =
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
   (* Phase 1: one SC enumeration per distinct loop-free program, fanned
      out, then frozen into a digest-indexed table every cell reads.  The
@@ -155,32 +181,63 @@ let litmus_campaign_keyed ?runs ?base_seed ?domains ~machines keyed =
   in
   List.iter (fun (key, outs) -> Key_tbl.add sc_table key outs) sc_list;
   (* Phase 2: the test × machine product, each cell an independent
-     seeded simulation batch. *)
-  let jobs =
-    List.concat_map (fun (t, key) -> List.map (fun m -> (t, key, m)) machines)
-      keyed
+     seeded simulation batch.  Each test's compiled artifact is built
+     once here and shared across every machine and seed; jobs are
+     ordered machine-major (all of one machine's cells contiguous) so a
+     worker's per-domain session rebinds programs, not machines, as it
+     strides — each job carries its position in the tests × machines
+     product, which the output is reassembled into. *)
+  let keyed_art =
+    Array.of_list
+      (List.map
+         (fun ((t : Wo_litmus.Litmus.t), key) ->
+           let art =
+             match engine with
+             | Wo_machines.Machine.Compiled ->
+               Wo_prog.Prog_compile.compile t.Wo_litmus.Litmus.program
+             | Wo_machines.Machine.Ast -> None
+           in
+           (t, key, art))
+         keyed)
   in
-  let cells =
+  let mach = Array.of_list machines in
+  let nmach = Array.length mach in
+  let jobs =
+    List.concat_map
+      (fun im ->
+        List.init (Array.length keyed_art) (fun it ->
+            let t, key, art = keyed_art.(it) in
+            ((it * nmach) + im, t, key, art, mach.(im))))
+      (List.init nmach Fun.id)
+  in
+  let placed =
     parallel_map ~domains:d
-      (fun ((t : Wo_litmus.Litmus.t), key, (m : Wo_machines.Machine.t)) ->
+      (fun (pos, (t : Wo_litmus.Litmus.t), key, art, (m : Wo_machines.Machine.t))
+      ->
         let sc_outcomes = Key_tbl.find sc_table key in
+        let session = domain_session ~engine m in
         let report =
-          Wo_litmus.Runner.run ?runs ?base_seed ?sc_outcomes m t
+          Wo_litmus.Runner.run ?runs ?base_seed ?sc_outcomes ~engine ~session
+            ?compiled:art m t
         in
         let expected_sc =
           m.Wo_machines.Machine.sequentially_consistent
           || (m.Wo_machines.Machine.weakly_ordered_drf0
              && t.Wo_litmus.Litmus.drf0)
         in
-        {
-          test = t;
-          machine = m;
-          report;
-          expected_sc;
-          ok = (not expected_sc) || Wo_litmus.Runner.appears_sc report;
-        })
+        ( pos,
+          {
+            test = t;
+            machine = m;
+            report;
+            expected_sc;
+            ok = (not expected_sc) || Wo_litmus.Runner.appears_sc report;
+          } ))
       jobs
   in
+  let out = Array.make (Array.length keyed_art * nmach) None in
+  List.iter (fun (pos, cell) -> out.(pos) <- Some cell) placed;
+  let cells = Array.to_list (Array.map Option.get out) in
   let loop_free =
     List.length
       (List.filter
@@ -194,12 +251,13 @@ let litmus_campaign_keyed ?runs ?base_seed ?domains ~machines keyed =
     sc_reused = (loop_free * List.length machines) - List.length distinct;
   }
 
-let litmus_campaign ?runs ?base_seed ?domains ~machines tests =
-  litmus_campaign_keyed ?runs ?base_seed ?domains ~machines (key_tests tests)
+let litmus_campaign ?runs ?base_seed ?domains ?engine ~machines tests =
+  litmus_campaign_keyed ?runs ?base_seed ?domains ?engine ~machines
+    (key_tests tests)
 
-let spec_campaign ?runs ?base_seed ?domains ?keyed ~specs tests =
+let spec_campaign ?runs ?base_seed ?domains ?engine ?keyed ~specs tests =
   let keyed = match keyed with Some k -> k | None -> key_tests tests in
-  litmus_campaign_keyed ?runs ?base_seed ?domains
+  litmus_campaign_keyed ?runs ?base_seed ?domains ?engine
     ~machines:(List.map Wo_machines.Spec.build specs)
     keyed
 
@@ -214,18 +272,28 @@ type workload_cell = {
   invariant_failures : int;
 }
 
-let workload_campaign ?(runs = 20) ?(base_seed = 1) ?domains ~machines
-    workloads =
+let workload_campaign ?(runs = 20) ?(base_seed = 1) ?domains
+    ?(engine = Wo_machines.Machine.Compiled) ~machines workloads =
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
   let jobs =
     List.concat_map (fun w -> List.map (fun m -> (w, m)) machines) workloads
   in
   parallel_map ~domains:d
     (fun ((w : Workload.t), (m : Wo_machines.Machine.t)) ->
+      let session = domain_session ~engine m in
+      let compiled =
+        match engine with
+        | Wo_machines.Machine.Compiled ->
+          Wo_prog.Prog_compile.compile w.Workload.program
+        | Wo_machines.Machine.Ast -> None
+      in
       let total = ref 0 in
       let bad = ref 0 in
       for seed = base_seed to base_seed + runs - 1 do
-        let r = Wo_machines.Machine.run m ~seed w.Workload.program in
+        let r =
+          Wo_machines.Machine.session_run session ~seed ?compiled
+            w.Workload.program
+        in
         total := !total + r.Wo_machines.Machine.cycles;
         match w.Workload.validate r.Wo_machines.Machine.outcome with
         | Ok () -> ()

@@ -38,6 +38,22 @@ type program_key = { pk_digest : Digest.t; pk_payload : string }
 
 val program_key : Wo_prog.Program.t -> program_key
 
+val program_key_art :
+  Wo_prog.Program.t -> program_key * Wo_prog.Prog_compile.t option
+(** {!program_key} plus the compiled artifact the key was derived from
+    (when the program is compilable) — callers that both key and run a
+    program get the single compilation the key already paid for. *)
+
+val domain_session :
+  engine:Wo_machines.Machine.engine ->
+  Wo_machines.Machine.t ->
+  Wo_machines.Machine.session
+(** The calling domain's reusable session for this machine (and engine),
+    created on first use and cached in domain-local storage — never
+    shared across domains, so each worker drives its own machine state.
+    Cached by machine name with a physical-identity check: a different
+    machine value under the same name replaces the stale session. *)
+
 val find_keyed : program_key -> (program_key * 'a) list -> 'a option
 (** First binding whose key is {e fully} equal (digest and payload). *)
 
@@ -73,6 +89,7 @@ val litmus_campaign :
   ?runs:int ->
   ?base_seed:int ->
   ?domains:int ->
+  ?engine:Wo_machines.Machine.engine ->
   machines:Wo_machines.Machine.t list ->
   Wo_litmus.Litmus.t list ->
   litmus_campaign
@@ -80,12 +97,16 @@ val litmus_campaign :
     as {!Wo_litmus.Runner.run}).  SC outcome sets are enumerated once
     per distinct program — in parallel — then shared read-only by all
     cells through a digest-indexed table (payload-confirmed, so a
-    digest collision cannot alias two programs). *)
+    digest collision cannot alias two programs).  Cells run through
+    per-domain machine sessions under [engine] (default [Compiled];
+    results are byte-identical either way), with each test compiled
+    once and the artifact shared across machines and seeds. *)
 
 val litmus_campaign_keyed :
   ?runs:int ->
   ?base_seed:int ->
   ?domains:int ->
+  ?engine:Wo_machines.Machine.engine ->
   machines:Wo_machines.Machine.t list ->
   (Wo_litmus.Litmus.t * program_key) list ->
   litmus_campaign
@@ -99,6 +120,7 @@ val spec_campaign :
   ?runs:int ->
   ?base_seed:int ->
   ?domains:int ->
+  ?engine:Wo_machines.Machine.engine ->
   ?keyed:(Wo_litmus.Litmus.t * program_key) list ->
   specs:Wo_machines.Spec.t list ->
   Wo_litmus.Litmus.t list ->
@@ -126,9 +148,12 @@ val workload_campaign :
   ?runs:int ->
   ?base_seed:int ->
   ?domains:int ->
+  ?engine:Wo_machines.Machine.engine ->
   machines:Wo_machines.Machine.t list ->
   Workload.t list ->
   workload_cell list
 (** Run every workload on every machine ([runs] defaults to 20),
     averaging cycle counts over seeds; in [workloads × machines]
-    product order. *)
+    product order.  Each cell's seed loop runs through a per-domain
+    machine session with the workload compiled once ([engine] as in
+    {!litmus_campaign}). *)

@@ -120,8 +120,8 @@ let test_write_uncached_gp_immediate () =
 
 let test_rmw_atomic_across_caches () =
   let rig = make_rig () in
-  let a = submit rig ~cache:0 0 (`Sync_rmw (fun v -> v + 1)) in
-  let b = submit rig ~cache:1 0 (`Sync_rmw (fun v -> v + 1)) in
+  let a = submit rig ~cache:0 0 (`Sync_rmw (Wo_core.Event.Rmw_faa 1)) in
+  let b = submit rig ~cache:1 0 (`Sync_rmw (Wo_core.Event.Rmw_faa 1)) in
   run rig;
   let reads = List.sort compare [ Option.get a.value; Option.get b.value ] in
   Alcotest.(check (list int)) "each sees the other's increment or none"
@@ -165,13 +165,13 @@ let reserve_probe requester_kind =
   (probe, w)
 
 let test_sync_recall_stalls_on_reserved_line () =
-  let probe, w = reserve_probe (`Sync_rmw (fun v -> v)) in
+  let probe, w = reserve_probe (`Sync_rmw (Wo_core.Event.Rmw_fn (fun v -> v))) in
   check "remote sync commits only after the write performed globally" true
     (probe.committed_at >= w.gp_at)
 
 let test_data_recall_not_stalled_by_reserve () =
   let data_probe, w = reserve_probe `Data_read in
-  let sync_probe, _ = reserve_probe (`Sync_rmw (fun v -> v)) in
+  let sync_probe, _ = reserve_probe (`Sync_rmw (Wo_core.Event.Rmw_fn (fun v -> v))) in
   check "data read completed" true (data_probe.value <> None);
   check "data request served before the write performed globally" true
     (data_probe.committed_at < w.gp_at);
@@ -252,7 +252,7 @@ let test_stress_random_ops_stay_coherent () =
         | 0 -> `Data_read
         | 1 -> `Data_write (Rng.int rng 100)
         | 2 -> `Sync_write (Rng.int rng 100)
-        | _ -> `Sync_rmw (fun v -> v + 1)
+        | _ -> `Sync_rmw (Wo_core.Event.Rmw_faa 1)
       in
       ignore (submit rig ~cache loc kind)
     done;

@@ -22,6 +22,7 @@ let () =
       ("cache", Test_cache.tests);
       ("race", Test_race.tests);
       ("machines", Test_machines.tests);
+      ("machpath", Test_machpath.tests);
       ("spec", Test_spec.tests);
       ("litmus", Test_litmus.tests);
       ("workload", Test_workload.tests);
