@@ -25,12 +25,14 @@ let experiments =
     ("e15", E15_campaign.run);
     ("e16", E16_scaleout.run);
     ("e17", E17_machpath.run);
+    ("e18", E18_models.run);
     ("micro", Micro.run);
   ]
 
 let usage () =
   print_endline
-    "usage: main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|micro]...";
+    "usage: main.exe \
+     [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e12|e13|e14|e15|e16|e17|e18|micro]...";
   print_endline "with no arguments, everything runs in order";
   exit 1
 

@@ -27,7 +27,9 @@ module M = Wo_machines.Machine
 module L = Wo_litmus.Litmus
 
 let machine_names =
-  List.map (fun (m : M.t) -> m.M.name) Wo_machines.Presets.all
+  List.map
+    (fun (m : M.t) -> m.M.name)
+    (Wo_machines.Presets.all @ Wo_machines.Presets.models)
 
 let machine_arg =
   let doc =
@@ -58,6 +60,39 @@ let runs_arg =
     value & opt int 100
     & info [ "n"; "runs" ] ~docv:"N"
         ~doc:"Number of seeded runs; seeds are $(i,SEED)..$(i,SEED)+$(docv)-1.")
+
+(* Shared by sweep/campaign: the ordering-model grid axis. *)
+let models_arg =
+  Arg.(
+    value & opt (list string) []
+    & info [ "models" ] ~docv:"M1,M2,..."
+        ~doc:
+          "Comma-separated hardware ordering models ($(b,sc), $(b,tso), \
+           $(b,pso), $(b,ra)) to cross with the selected machines: each \
+           spec expands into one grid point per model.  Relaxed points \
+           run the store-buffer backends over uncached memory and are \
+           named $(i,machine)/$(i,fabric)+$(i,sync)@$(i,model).")
+
+let parse_models = function
+  | [] -> None
+  | names ->
+    Some
+      (List.map
+         (fun n ->
+           match Wo_machines.Spec.model_of_string n with
+           | Some m -> m
+           | None ->
+             prerr_endline
+               (Printf.sprintf
+                  "unknown ordering model %S; try one of: sc, tso, pso, ra" n);
+             exit 1)
+         names)
+
+let expand_models model_names specs =
+  match parse_models model_names with
+  | None -> specs
+  | Some models ->
+    List.concat_map (fun s -> Wo_machines.Spec.grid ~models s) specs
 
 let seed_doc =
   "Base seed for the deterministic simulation; the same seed always \
@@ -194,20 +229,28 @@ let list_cmd =
       print_endline
         (Wo_obs.Json.to_string ~pretty:true
            (Wo_obs.Json.List
-              (List.map Wo_machines.Spec.to_json Wo_machines.Presets.specs)))
+              (List.map Wo_machines.Spec.to_json
+                 (Wo_machines.Presets.specs @ Wo_machines.Presets.model_specs))))
     else begin
+      let model_of (m : M.t) =
+        match Wo_machines.Presets.spec_of m.M.name with
+        | Some s -> Wo_machines.Spec.model_to_string s.Wo_machines.Spec.model
+        | None -> "sc"
+      in
       Wo_report.Table.heading "Machines";
-      Wo_report.Table.print ~headers:[ "name"; "SC"; "WO/DRF0"; "description" ]
+      Wo_report.Table.print
+        ~headers:[ "name"; "model"; "SC"; "WO/DRF0"; "description" ]
         (List.map
            (fun (m : M.t) ->
              [
                m.M.name;
+               model_of m;
                (if m.M.sequentially_consistent then "yes" else "no");
                (if m.M.weakly_ordered_drf0 then "yes" else "no");
                (let d = m.M.description in
                 if String.length d > 60 then String.sub d 0 57 ^ "..." else d);
              ])
-           Wo_machines.Presets.all);
+           (Wo_machines.Presets.all @ Wo_machines.Presets.models));
       if not machines_only then list_rest ()
     end
   and list_rest () =
@@ -617,14 +660,15 @@ let sweep_cmd =
       & info [ "workloads" ]
           ~doc:"Also sweep the performance workloads (average cycles).")
   in
-  let run jobs machine_names machine_files runs seed with_workloads engine
-      metrics =
+  let run jobs machine_names machine_files model_names runs seed with_workloads
+      engine metrics =
     (* The campaign runs over machine specs: presets resolve to theirs,
        and [--machine-file] appends JSON-defined machines to the grid. *)
     let specs =
       List.map (fun n -> or_die (get_spec n)) machine_names
       @ List.map (fun f -> or_die (load_spec f)) machine_files
     in
+    let specs = expand_models model_names specs in
     let machines = List.map Wo_machines.Spec.build specs in
     let domains = if jobs <= 0 then None else Some jobs in
     machine_errors @@ fun () ->
@@ -747,8 +791,8 @@ let sweep_cmd =
          "Run the full litmus x machine campaign in parallel across OCaml \
           domains")
     Term.(
-      const run $ jobs_arg $ machines_arg $ machine_files_arg $ runs_arg
-      $ seed_arg $ workloads_arg $ machine_engine_arg $ metrics_arg)
+      const run $ jobs_arg $ machines_arg $ machine_files_arg $ models_arg
+      $ runs_arg $ seed_arg $ workloads_arg $ machine_engine_arg $ metrics_arg)
 
 (* --- wo trace -------------------------------------------------------------- *)
 
@@ -1151,9 +1195,9 @@ let campaign_cmd =
       stats.Wo_campaign.Coordinator.w_executed
       stats.Wo_campaign.Coordinator.w_replayed
   in
-  let run families count seed runs jobs machine_names machine_files grid shard
-      max_shards store_path report metrics workers worker progress auto_compact
-      engine =
+  let run families count seed runs jobs machine_names machine_files model_names
+      grid shard max_shards store_path report metrics workers worker progress
+      auto_compact engine =
     if worker then run_as_worker ~store_path ~jobs ~progress
     else begin
     let specs =
@@ -1163,6 +1207,7 @@ let campaign_cmd =
     let specs =
       if grid then List.concat_map campaign_grid specs else specs
     in
+    let specs = expand_models model_names specs in
     let corpus = synth_corpus () in
     let cases =
       List.concat_map
@@ -1328,9 +1373,116 @@ let campaign_cmd =
           sharing the campaign directory)")
     Term.(
       const run $ families_arg $ count_arg $ seed_arg $ runs_arg $ jobs_arg
-      $ machines_arg $ machine_files_arg $ grid_arg $ shard_arg
+      $ machines_arg $ machine_files_arg $ models_arg $ grid_arg $ shard_arg
       $ max_shards_arg $ store_arg $ report_arg $ metrics_arg $ workers_arg
       $ worker_arg $ progress_arg $ auto_compact_arg $ machine_engine_arg)
+
+(* --- wo difftest ----------------------------------------------------------- *)
+
+let difftest_cmd =
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list string) [ "tso-wb"; "pso-wb"; "ra-window" ]
+      & info [ "m"; "machines" ] ~docv:"M1,M2,..."
+          ~doc:
+            "Comma-separated machines to check (see `wo list'); defaults to \
+             the relaxed consistency-model zoo.")
+  in
+  let family_arg =
+    Arg.(
+      value & opt string "cycle-racy"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Synthesis family appended to the litmus corpus (see `wo \
+             synth').")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "count" ] ~docv:"N"
+          ~doc:"Synthesized cases generated from the family.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "n"; "runs" ] ~docv:"N"
+          ~doc:"Seeded runs per (case, machine) cell.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "State bound for the axiomatic reference enumeration; cells \
+             whose reference set exceeds it are reported without a \
+             verdict.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the full summary as JSON.")
+  in
+  let run machine_names machine_files family count runs seed engine max_states
+      json metrics =
+    let specs =
+      List.map (fun n -> or_die (get_spec n)) machine_names
+      @ List.map (fun f -> or_die (load_spec f)) machine_files
+    in
+    machine_errors @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let cases =
+      try Wo_campaign.Difftest.default_cases ~family ~count ()
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 1
+    in
+    let summary =
+      Wo_campaign.Difftest.run ~specs ~runs ~base_seed:seed ~max_states ~engine
+        ~cases ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    if json then
+      print_endline
+        (Wo_obs.Json.to_string ~pretty:true
+           (Wo_campaign.Difftest.summary_to_json summary))
+    else Format.printf "%a@." Wo_campaign.Difftest.pp_summary summary;
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Wo_obs.Metrics.make ~experiment:"difftest"
+          (machine_engine_fields engine
+          @ [
+            ("cases", Wo_obs.Json.Int summary.Wo_campaign.Difftest.cases);
+            ("machines", Wo_obs.Json.Int summary.Wo_campaign.Difftest.machines);
+            ( "checks",
+              Wo_obs.Json.Int
+                (List.length summary.Wo_campaign.Difftest.reports) );
+            ( "violations",
+              Wo_obs.Json.Int
+                (List.length summary.Wo_campaign.Difftest.violating) );
+            ("runs", Wo_obs.Json.Int runs);
+            ("seed", Wo_obs.Json.Int seed);
+            ("wall_s", Wo_obs.Json.Float wall);
+          ])
+      in
+      Wo_obs.Metrics.write_file ~path doc;
+      Printf.printf "metrics: wrote %s\n" path);
+    if summary.Wo_campaign.Difftest.violating <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "difftest"
+       ~doc:
+         "Differential compliance: run the litmus corpus plus synthesized \
+          cases on each consistency-model machine and check every observed \
+          outcome against the strongest available oracle (the SC set for \
+          DRF0 programs, the machine's own model's axiomatic set for racy \
+          ones)")
+    Term.(
+      const run $ machines_arg $ machine_files_arg $ family_arg $ count_arg
+      $ runs_arg $ seed_arg $ machine_engine_arg $ max_states_arg $ json_arg
+      $ metrics_arg)
 
 let serve_cmd =
   let socket_arg =
@@ -1466,6 +1618,7 @@ let main =
       delays_cmd;
       synth_cmd;
       campaign_cmd;
+      difftest_cmd;
       serve_cmd;
       store_cmd;
     ]

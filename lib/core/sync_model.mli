@@ -26,3 +26,49 @@ val drf1 : t
     create cross-processor ordering. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Hardware ordering models}
+
+    Where a synchronization model constrains {e programs}, a hardware
+    ordering model describes what a {e machine} may reorder.  Definition 2
+    connects the two: hardware is weakly ordered with respect to a
+    synchronization model iff programs obeying the model observe
+    sequential consistency.  The descriptors below parameterize both the
+    operational backends ({!Wo_machines.Ordering}) and the axiomatic
+    reference enumerator ({!Wo_prog.Relaxed}) so the two sides of the
+    differential harness agree on what each model permits. *)
+
+type relaxation =
+  | W_to_r
+      (** a read may complete before an earlier write to a different
+          location is globally performed (store-buffer bypass) *)
+  | W_to_w
+      (** writes to different locations may perform out of program order
+          (per-location buffers / channels) *)
+  | Acquire_no_drain
+      (** read-only synchronization does not wait for earlier pending
+          writes; only write synchronization is a release barrier *)
+
+type hardware = {
+  hname : string;
+  hdescription : string;
+  relaxations : relaxation list;
+  forwarding : bool;
+      (** reads return the youngest of the processor's own pending writes
+          to the location, when one exists *)
+}
+
+val relaxes : hardware -> relaxation -> bool
+
+val sc_hw : hardware
+val tso_hw : hardware
+val pso_hw : hardware
+val ra_hw : hardware
+
+val hardware_models : hardware list
+(** In strength order: [sc], [tso], [pso], [ra].  Each model's allowed
+    behaviours are a subset of the next's. *)
+
+val hardware_of_string : string -> hardware option
+
+val pp_hardware : Format.formatter -> hardware -> unit

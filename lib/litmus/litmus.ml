@@ -181,6 +181,27 @@ let dekker_sync =
     interesting = [ ("both-killed", both_killed) ];
   }
 
+let sb_acquire =
+  {
+    name = "sb-acquire";
+    description =
+      "Store buffering with acquire reads: each processor data-writes one \
+       location, then synchronization-reads the other.  Racy (the data \
+       writes conflict with the synchronization reads).  Machines whose \
+       synchronization reads drain the store buffer (SC, TSO, PSO) forbid \
+       both reads returning 0; release/acquire hardware, where an acquire \
+       does not wait for earlier pending writes, allows it.";
+    program =
+      Wo_prog.Program.make ~name:"sb-acquire"
+        [
+          [ I.Write (N.x, I.Const 1); I.Sync_read (N.r0, N.y) ];
+          [ I.Write (N.y, I.Const 1); I.Sync_read (N.r0, N.x) ];
+        ];
+    drf0 = false;
+    loops = false;
+    interesting = [ ("both-killed", both_killed) ];
+  }
+
 (* --- the classic litmus shapes beyond the paper's own ---------------------- *)
 
 let load_buffering =
@@ -411,6 +432,7 @@ let all =
     iriw;
     atomicity;
     dekker_sync;
+    sb_acquire;
     sync_chain;
     figure3_scenario ();
     load_buffering;

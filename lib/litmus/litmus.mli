@@ -56,6 +56,12 @@ val dekker_sync : t
     Tests for the reads — DRF0 (the conflicting accesses are all
     synchronization), so even weak machines must produce SC outcomes. *)
 
+val sb_acquire : t
+(** Store buffering with acquire reads: data writes, synchronization
+    reads.  Racy.  Separates release/acquire hardware (acquires do not
+    drain the store buffer, so both reads may return 0) from SC, TSO and
+    PSO (every synchronization operation drains, so they forbid it). *)
+
 val load_buffering : t
 (** Classic LB: both reads returning the other processor's later write —
     impossible on every machine here (reads block), documented as a zoo

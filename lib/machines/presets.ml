@@ -11,6 +11,7 @@ let sc_bus_nocache_spec =
        acknowledgement.  Sequentially consistent.";
     fabric = default_bus;
     memory = Spec.Uncached { write_buffer = None; wait_write_ack = true; modules = 1 };
+    model = Spec.Model_sc;
     sync = Spec.Sync_fence;
     local_cost = 1;
   }
@@ -38,6 +39,7 @@ let bus_nocache_wb_spec =
           wait_write_ack = false;
           modules = 1;
         };
+    model = Spec.Model_sc;
     sync = Spec.Sync_fence;
     local_cost = 1;
   }
@@ -53,6 +55,7 @@ let net_nocache_weak_spec =
     fabric = default_net;
     memory =
       Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 4 };
+    model = Spec.Model_sc;
     sync = Spec.Sync_none;
     local_cost = 1;
   }
@@ -67,6 +70,7 @@ let net_nocache_rp3_spec =
     fabric = default_net;
     memory =
       Spec.Uncached { write_buffer = None; wait_write_ack = true; modules = 4 };
+    model = Spec.Model_sc;
     sync = Spec.Sync_fence;
     local_cost = 1;
   }
@@ -82,6 +86,7 @@ let rp3_fence_spec =
     fabric = default_net;
     memory =
       Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 4 };
+    model = Spec.Model_sc;
     sync = Spec.Sync_fence;
     local_cost = 1;
   }
@@ -98,6 +103,7 @@ let sc_dir_spec =
        consistent.";
     fabric = default_net;
     memory = Spec.default_cached;
+    model = Spec.Model_sc;
     sync = Spec.Sync_sc;
     local_cost = 1;
   }
@@ -111,6 +117,7 @@ let bus_cache_spec =
        configuration 3).  Coherent but not sequentially consistent.";
     fabric = default_bus;
     memory = Spec.default_cached;
+    model = Spec.Model_sc;
     sync = Spec.Sync_none;
     local_cost = 1;
   }
@@ -125,6 +132,7 @@ let net_cache_spec =
        configuration 4).";
     fabric = default_net;
     memory = Spec.default_cached;
+    model = Spec.Model_sc;
     sync = Spec.Sync_none;
     local_cost = 1;
   }
@@ -145,6 +153,7 @@ let wo_old_spec =
        the synchronization is globally performed.";
     fabric = default_net;
     memory = Spec.default_cached;
+    model = Spec.Model_sc;
     sync = Spec.Sync_def1_stall;
     local_cost = 1;
   }
@@ -160,6 +169,7 @@ let wo_new_spec =
        and 3 of Definition 1, weakly ordered w.r.t. DRF0 by Definition 2.";
     fabric = default_net;
     memory = Spec.default_cached;
+    model = Spec.Model_sc;
     sync = Spec.Sync_reserve_bit;
     local_cost = 1;
   }
@@ -173,6 +183,7 @@ let wo_new_drf1_spec =
        reserve bit, so Test-and-TestAndSet spinning is not serialized.";
     fabric = default_net;
     memory = Spec.default_cached;
+    model = Spec.Model_sc;
     sync = Spec.Sync_drf1_two_level;
     local_cost = 1;
   }
@@ -183,9 +194,63 @@ let ideal_spec =
     description = Ideal.machine.Machine.description;
     fabric = default_bus;
     memory = Spec.Ideal;
+    model = Spec.Model_sc;
     sync = Spec.Sync_sc;
     local_cost = 1;
   }
+
+(* --- relaxed ordering-model machines (the consistency-model zoo) ----------- *)
+
+let tso_wb_spec =
+  {
+    Spec.name = "tso-wb";
+    description =
+      "TSO: shared bus, no caches, per-processor FIFO store buffer with \
+       store-to-load forwarding.  Reads overtake pending writes (W->R); \
+       writes drain in program order; synchronization drains the buffer.";
+    fabric = default_bus;
+    memory =
+      Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 1 };
+    model = Spec.Model_tso { depth = 8; drain_delay = 6 };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
+
+let pso_wb_spec =
+  {
+    Spec.name = "pso-wb";
+    description =
+      "PSO: heavy-tailed network, no caches, per-location store channels \
+       draining independently (W->R and W->W relaxed); synchronization \
+       drains every channel.  The spiky fabric makes the write-write \
+       reordering readily observable.";
+    fabric =
+      Coherent.Net_spiky
+        { base = 4; jitter = 6; spike_probability = 0.2; spike_factor = 8 };
+    memory =
+      Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 4 };
+    model = Spec.Model_pso { depth = 8; drain_delay = 0 };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
+
+let ra_window_spec =
+  {
+    Spec.name = "ra-window";
+    description =
+      "Release/acquire: general network, no caches, per-location store \
+       channels in a bounded window.  Read-only synchronization (acquire) \
+       issues without draining; write synchronization (release) drains \
+       everything first.";
+    fabric = default_net;
+    memory =
+      Spec.Uncached { write_buffer = None; wait_write_ack = false; modules = 4 };
+    model = Spec.Model_ra { window = 8; drain_delay = 6 };
+    sync = Spec.Sync_fence;
+    local_cost = 1;
+  }
+
+let model_specs = [ tso_wb_spec; pso_wb_spec; ra_window_spec ]
 
 let specs =
   [
@@ -203,7 +268,8 @@ let specs =
     wo_new_drf1_spec;
   ]
 
-let spec_of name = List.find_opt (fun (s : Spec.t) -> s.Spec.name = name) specs
+let spec_of name =
+  List.find_opt (fun (s : Spec.t) -> s.Spec.name = name) (specs @ model_specs)
 
 (* --- the machines, all built from their specs ------------------------------ *)
 
@@ -219,6 +285,10 @@ let net_cache_relaxed = Spec.build net_cache_spec
 let wo_old = Spec.build wo_old_spec
 let wo_new = Spec.build wo_new_spec
 let wo_new_drf1 = Spec.build wo_new_drf1_spec
+let tso_wb = Spec.build tso_wb_spec
+let pso_wb = Spec.build pso_wb_spec
+let ra_window = Spec.build ra_window_spec
+let models = [ tso_wb; pso_wb; ra_window ]
 
 (* The driver configs the cached specs denote, for experiments that vary
    parameters (e.g. Figure 3's slow invalidations) and rebuild with
@@ -278,4 +348,4 @@ let sequentially_consistent =
   List.filter (fun (m : Machine.t) -> m.Machine.sequentially_consistent) all
 
 let find name =
-  List.find_opt (fun (m : Machine.t) -> m.Machine.name = name) all
+  List.find_opt (fun (m : Machine.t) -> m.Machine.name = name) (all @ models)

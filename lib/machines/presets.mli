@@ -31,12 +31,25 @@ val wo_new : Machine.t
 val wo_new_drf1 : Machine.t
 val ideal : Machine.t
 
+val tso_wb : Machine.t
+val pso_wb : Machine.t
+val ra_window : Machine.t
+
+val models : Machine.t list
+(** The relaxed consistency-model zoo ({!Ordering} backends): [tso-wb],
+    [pso-wb], [ra-window].  Kept out of {!all} so the historical preset
+    roster (and everything keyed on it) is unchanged; {!find} and
+    {!spec_of} search both. *)
+
 val specs : Spec.t list
 (** One spec per preset, idealized machine first; [all] is exactly
     [List.map Spec.build specs]. *)
 
+val model_specs : Spec.t list
+(** One spec per {!models} machine. *)
+
 val spec_of : string -> Spec.t option
-(** Look up a preset's spec by machine name. *)
+(** Look up a preset's or model machine's spec by machine name. *)
 
 val ideal_spec : Spec.t
 val sc_bus_nocache_spec : Spec.t
@@ -50,6 +63,9 @@ val net_cache_spec : Spec.t
 val wo_old_spec : Spec.t
 val wo_new_spec : Spec.t
 val wo_new_drf1_spec : Spec.t
+val tso_wb_spec : Spec.t
+val pso_wb_spec : Spec.t
+val ra_window_spec : Spec.t
 
 val sc_dir_config : Coherent.config
 val bus_cache_config : Coherent.config
@@ -74,4 +90,4 @@ val weakly_ordered : Machine.t list
 val sequentially_consistent : Machine.t list
 
 val find : string -> Machine.t option
-(** Look up a preset by [Machine.name]. *)
+(** Look up a preset or model machine by [Machine.name]. *)

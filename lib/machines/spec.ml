@@ -17,11 +17,18 @@ type memory =
     }
   | Cached of { hit_cycles : int; capacity : int option; coarse_counter : bool }
 
+type model =
+  | Model_sc
+  | Model_tso of { depth : int; drain_delay : int }
+  | Model_pso of { depth : int; drain_delay : int }
+  | Model_ra of { window : int; drain_delay : int }
+
 type t = {
   name : string;
   description : string;
   fabric : Memsys.fabric_kind;
   memory : memory;
+  model : model;
   sync : sync_policy;
   local_cost : int;
 }
@@ -35,8 +42,14 @@ let default_cached =
     }
 
 (* Consistency classification follows from the knobs, so JSON machines
-   cannot mislabel themselves. *)
+   cannot mislabel themselves.  A relaxed ordering model reorders by
+   construction; with synchronization enforced it is weakly ordered with
+   respect to DRF0 (TSO/PSO drain on every synchronization operation; RA
+   drains on releases, which every guaranteed cross-processor
+   happens-before chain passes through). *)
 let flags (s : t) =
+  if s.model <> Model_sc then (false, s.sync <> Sync_none)
+  else
   match s.memory with
   | Ideal -> (true, true)
   | Uncached u ->
@@ -114,8 +127,46 @@ let cached_config (s : t) : Coherent.config =
   | Ideal | Uncached _ ->
     invalid_arg (Printf.sprintf "Spec.cached_config: %s is not cached" s.name)
 
+let ordering_kind = function
+  | Model_sc -> invalid_arg "Spec.ordering_kind: Model_sc has no ordering backend"
+  | Model_tso { depth; drain_delay } -> Ordering.Tso { depth; drain_delay }
+  | Model_pso { depth; drain_delay } -> Ordering.Pso { depth; drain_delay }
+  | Model_ra { window; drain_delay } -> Ordering.Ra { window; drain_delay }
+
+let model_hardware = function
+  | Model_sc -> Wo_core.Sync_model.sc_hw
+  | Model_tso _ -> Wo_core.Sync_model.tso_hw
+  | Model_pso _ -> Wo_core.Sync_model.pso_hw
+  | Model_ra _ -> Wo_core.Sync_model.ra_hw
+
+let ordering_config (s : t) : Ordering.config =
+  if s.model = Model_sc then
+    invalid_arg
+      (Printf.sprintf "Spec.ordering_config: %s has no ordering model" s.name);
+  let modules =
+    match s.memory with
+    | Uncached { modules; _ } -> modules
+    | Ideal | Cached _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Spec.ordering_config: %s: relaxed ordering models require \
+            uncached memory"
+           s.name)
+  in
+  {
+    Ordering.fabric = s.fabric;
+    kind = ordering_kind s.model;
+    sync_barriers = s.sync <> Sync_none;
+    modules;
+    local_cost = s.local_cost;
+  }
+
 let build (s : t) : Machine.t =
   let sequentially_consistent, weakly_ordered_drf0 = flags s in
+  if s.model <> Model_sc then
+    Ordering.make ~name:s.name ~description:s.description
+      ~sequentially_consistent ~weakly_ordered_drf0 (ordering_config s)
+  else
   match s.memory with
   | Ideal ->
     { Ideal.machine with Machine.name = s.name; description = s.description }
@@ -143,6 +194,15 @@ let sync_of_string = function
   | "def1-stall" -> Some Sync_def1_stall
   | "reserve-bit" -> Some Sync_reserve_bit
   | "drf1-two-level" -> Some Sync_drf1_two_level
+  | _ -> None
+
+let model_to_string m = (model_hardware m).Wo_core.Sync_model.hname
+
+let model_of_string = function
+  | "sc" -> Some Model_sc
+  | "tso" -> Some (Model_tso { depth = 8; drain_delay = 6 })
+  | "pso" -> Some (Model_pso { depth = 8; drain_delay = 6 })
+  | "ra" -> Some (Model_ra { window = 8; drain_delay = 6 })
   | _ -> None
 
 let fabric_slug = function
@@ -202,6 +262,30 @@ let memory_to_json = function
         ("coarse_counter", Json.Bool coarse_counter);
       ]
 
+let model_to_json = function
+  | Model_sc -> Json.String "sc"
+  | Model_tso { depth; drain_delay } ->
+    Json.Obj
+      [
+        ("kind", Json.String "tso");
+        ("depth", Json.Int depth);
+        ("drain_delay", Json.Int drain_delay);
+      ]
+  | Model_pso { depth; drain_delay } ->
+    Json.Obj
+      [
+        ("kind", Json.String "pso");
+        ("depth", Json.Int depth);
+        ("drain_delay", Json.Int drain_delay);
+      ]
+  | Model_ra { window; drain_delay } ->
+    Json.Obj
+      [
+        ("kind", Json.String "ra");
+        ("window", Json.Int window);
+        ("drain_delay", Json.Int drain_delay);
+      ]
+
 let to_json (s : t) =
   Json.Obj
     [
@@ -209,6 +293,7 @@ let to_json (s : t) =
       ("description", Json.String s.description);
       ("fabric", fabric_to_json s.fabric);
       ("memory", memory_to_json s.memory);
+      ("model", model_to_json s.model);
       ("sync", Json.String (sync_to_string s.sync));
       ("local_cost", Json.Int s.local_cost);
     ]
@@ -314,6 +399,34 @@ let memory_of_json j =
     Ok (Cached { hit_cycles; capacity; coarse_counter })
   | k -> Error (Printf.sprintf "unknown memory kind %S" k)
 
+(* A bare name ("tso") takes the default knobs; the object form spells
+   them out, as [to_json] always does for non-SC models. *)
+let model_of_json j =
+  let parametrized kind j =
+    let* drain_delay = field_int ~default:6 "drain_delay" j in
+    match kind with
+    | "tso" ->
+      let* depth = field_int ~default:8 "depth" j in
+      Ok (Model_tso { depth; drain_delay })
+    | "pso" ->
+      let* depth = field_int ~default:8 "depth" j in
+      Ok (Model_pso { depth; drain_delay })
+    | "ra" ->
+      let* window = field_int ~default:8 "window" j in
+      Ok (Model_ra { window; drain_delay })
+    | k -> Error (Printf.sprintf "unknown ordering model %S" k)
+  in
+  match j with
+  | Json.String "sc" -> Ok Model_sc
+  | Json.String k -> parametrized k (Json.Obj [])
+  | Json.Obj _ ->
+    let* kind = field_string "kind" j in
+    if kind = "sc" then Ok Model_sc else parametrized kind j
+  | _ -> Error "field \"model\": expected a string or an object"
+
+let default_ordering_memory =
+  Uncached { write_buffer = None; wait_write_ack = false; modules = 1 }
+
 let of_json j =
   let* name = field_string "name" j in
   let* description = field_string ~default:"" "description" j in
@@ -322,10 +435,25 @@ let of_json j =
     | None | Some Json.Null -> Ok Coherent.default_net
     | Some f -> fabric_of_json f
   in
+  let* model =
+    match Json.member "model" j with
+    | None | Some Json.Null -> Ok Model_sc
+    | Some m -> model_of_json m
+  in
   let* memory =
     match Json.member "memory" j with
-    | None | Some Json.Null -> Ok default_cached
+    | None | Some Json.Null ->
+      Ok (if model = Model_sc then default_cached else default_ordering_memory)
     | Some m -> memory_of_json m
+  in
+  let* () =
+    match (model, memory) with
+    | Model_sc, _ | _, Uncached _ -> Ok ()
+    | _, (Ideal | Cached _) ->
+      Error
+        (Printf.sprintf
+           "model %S requires uncached memory (or omit \"memory\")"
+           (model_to_string model))
   in
   let* sync =
     let* s = field_string ~default:"none" "sync" j in
@@ -334,7 +462,7 @@ let of_json j =
     | None -> Error (Printf.sprintf "unknown sync policy %S" s)
   in
   let* local_cost = field_int ~default:1 "local_cost" j in
-  Ok { name; description; fabric; memory; sync; local_cost }
+  Ok { name; description; fabric; memory; model; sync; local_cost }
 
 let of_string s =
   let* j = Json.of_string s in
@@ -350,20 +478,34 @@ let of_file path =
 
 (* --- grids ----------------------------------------------------------------- *)
 
-let grid ?fabrics ?syncs (base : t) : t list =
+let grid ?fabrics ?syncs ?models (base : t) : t list =
   let fabrics = Option.value fabrics ~default:[ base.fabric ] in
   let syncs = Option.value syncs ~default:[ base.sync ] in
+  let models = Option.value models ~default:[ base.model ] in
   List.concat_map
     (fun fabric ->
-      List.map
+      List.concat_map
         (fun sync ->
-          {
-            base with
-            name =
-              Printf.sprintf "%s/%s+%s" base.name (fabric_slug fabric)
-                (sync_to_string sync);
-            fabric;
-            sync;
-          })
+          List.map
+            (fun model ->
+              (* Names only grow a model suffix when a relaxed model is in
+                 play, so SC grids keep their historical names.  Relaxed
+                 models need uncached memory; a cached/ideal base falls
+                 back to the one-module default. *)
+              let name =
+                let stem =
+                  Printf.sprintf "%s/%s+%s" base.name (fabric_slug fabric)
+                    (sync_to_string sync)
+                in
+                if model = Model_sc then stem
+                else stem ^ "@" ^ model_to_string model
+              in
+              let memory =
+                match (model, base.memory) with
+                | Model_sc, m | _, (Uncached _ as m) -> m
+                | _, (Ideal | Cached _) -> default_ordering_memory
+              in
+              { base with name; fabric; sync; model; memory })
+            models)
         syncs)
     fabrics

@@ -43,11 +43,29 @@ type memory =
     }
   | Cached of { hit_cycles : int; capacity : int option; coarse_counter : bool }
 
+(** The hardware ordering model the machine implements.  [Model_sc] is
+    the historical in-order pipeline: the machine is whatever [memory]
+    and [sync] say, unchanged.  The relaxed models route the build to
+    the {!Ordering} backend over uncached memory: [Model_tso] a
+    per-processor FIFO store buffer, [Model_pso] per-location channels,
+    [Model_ra] per-location channels in a bounded window with
+    release/acquire synchronization.  [sync] still picks enforcement:
+    anything but {!Sync_none} makes synchronization operations barriers
+    of the model's flavour; {!Sync_none} treats them as data. *)
+type model =
+  | Model_sc
+  | Model_tso of { depth : int; drain_delay : int }
+  | Model_pso of { depth : int; drain_delay : int }
+  | Model_ra of { window : int; drain_delay : int }
+
 type t = {
   name : string;
   description : string;
   fabric : Memsys.fabric_kind;  (** ignored by {!Ideal} *)
   memory : memory;
+  model : model;
+      (** relaxed models require [memory] to be [Uncached] (only its
+          [modules] count is used) *)
   sync : sync_policy;
   local_cost : int;
 }
@@ -75,8 +93,25 @@ val cached_config : t -> Coherent.config
 (** The coherent driver config this spec denotes.
     @raise Invalid_argument if [memory] is not [Cached]. *)
 
+val ordering_config : t -> Ordering.config
+(** The relaxed-ordering backend config this spec denotes.
+    @raise Invalid_argument if [model] is [Model_sc] or [memory] is not
+    [Uncached]. *)
+
+val model_hardware : model -> Wo_core.Sync_model.hardware
+(** The axiomatic descriptor of the spec's ordering model, for the
+    reference enumerator ({!Wo_prog.Relaxed}); {!Wo_core.Sync_model.sc_hw}
+    for [Model_sc]. *)
+
 val sync_to_string : sync_policy -> string
 val sync_of_string : string -> sync_policy option
+
+val model_to_string : model -> string
+(** ["sc"], ["tso"], ["pso"] or ["ra"]. *)
+
+val model_of_string : string -> model option
+(** The inverse, with the default knobs (depth/window 8, drain delay 6)
+    for the relaxed models. *)
 
 val fabric_slug : Memsys.fabric_kind -> string
 (** Short name for grid-generated machine names, e.g. ["net4j6"]. *)
@@ -88,8 +123,12 @@ val to_string : ?pretty:bool -> t -> string
 
 val of_json : Wo_obs.Json.t -> (t, string) result
 (** Missing fields default: [description] to [""], [fabric] to
-    {!Coherent.default_net}, [memory] to {!default_cached}, [sync] to
-    [Sync_none], [local_cost] to [1]. *)
+    {!Coherent.default_net}, [model] to [Model_sc], [memory] to
+    {!default_cached} (one-module uncached when a relaxed model is
+    given), [sync] to [Sync_none], [local_cost] to [1].  The [model]
+    field accepts a bare name (["tso"], with default knobs) or an object
+    ([{"kind":"ra","window":8,"drain_delay":6}]); a relaxed model with
+    explicit cached or ideal memory is rejected. *)
 
 val of_string : string -> (t, string) result
 val of_file : string -> (t, string) result
@@ -97,7 +136,13 @@ val of_file : string -> (t, string) result
 (** {2 Grids} *)
 
 val grid :
-  ?fabrics:Memsys.fabric_kind list -> ?syncs:sync_policy list -> t -> t list
-(** The cross product of fabric and sync variations of a base spec, each
-    named [base/<fabric-slug>+<sync>]; omitted axes keep the base
-    value. *)
+  ?fabrics:Memsys.fabric_kind list ->
+  ?syncs:sync_policy list ->
+  ?models:model list ->
+  t ->
+  t list
+(** The cross product of fabric, sync and model variations of a base
+    spec, each named [base/<fabric-slug>+<sync>] with an [@<model>]
+    suffix for relaxed models; omitted axes keep the base value.
+    Relaxed grid points over a cached or ideal base take the default
+    one-module uncached memory. *)

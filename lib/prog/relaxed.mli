@@ -1,0 +1,41 @@
+(** Model-aware reference enumeration.
+
+    {!Enumerate} answers "what can sequential consistency produce?";
+    this module answers the same question for a relaxed hardware
+    ordering model ({!Wo_core.Sync_model.hardware}): TSO, PSO or the
+    release/acquire window model.  It exhaustively interleaves an
+    abstract operational machine in which per-processor store buffers
+    are explicit state and draining one buffered write is a scheduling
+    step, so the result is the model's exact allowed outcome set for a
+    loop-free program.
+
+    The simulated backends ({!Wo_machines.Ordering}) realize the same
+    models with concrete timing; every outcome they can produce is in
+    this set.  [wo difftest] checks that inclusion run by run, which is
+    the racy-program half of the differential compliance harness (the
+    DRF0 half is Definition 2: the allowed set is the SC set). *)
+
+exception Too_many_states of int
+(** Raised when the search exceeds [max_states] distinct states. *)
+
+val outcomes :
+  ?max_states:int ->
+  Wo_core.Sync_model.hardware ->
+  Program.t ->
+  Outcome.t list
+(** All outcomes the hardware model allows for the program, sorted by
+    {!Outcome.compare}.  Under {!Wo_core.Sync_model.sc_hw} this equals
+    {!Enumerate.outcomes} (as a set); each weaker model's set contains
+    the stronger ones'.  [max_states] (default 2,000,000) bounds the
+    state search.
+    @raise Invalid_argument on programs with loops.
+    @raise Too_many_states when the bound is exceeded. *)
+
+val allows :
+  ?max_states:int ->
+  Wo_core.Sync_model.hardware ->
+  Program.t ->
+  Outcome.t ->
+  bool
+(** [allows hw p o] — is [o] in [outcomes hw p]?  Recomputes the set;
+    callers checking many outcomes should memoize {!outcomes}. *)

@@ -24,6 +24,7 @@ let () =
       ("machines", Test_machines.tests);
       ("machpath", Test_machpath.tests);
       ("spec", Test_spec.tests);
+      ("models", Test_models.tests);
       ("litmus", Test_litmus.tests);
       ("workload", Test_workload.tests);
       ("delay-set", Test_delay_set.tests);

@@ -247,11 +247,33 @@ let gen_spec =
         S.Sync_drf1_two_level;
       ]
   in
+  let model =
+    oneof
+      [
+        return S.Model_sc;
+        map2
+          (fun depth drain_delay -> S.Model_tso { depth; drain_delay })
+          (int_range 1 16) (int_range 0 8);
+        map2
+          (fun depth drain_delay -> S.Model_pso { depth; drain_delay })
+          (int_range 1 16) (int_range 0 8);
+        map2
+          (fun window drain_delay -> S.Model_ra { window; drain_delay })
+          (int_range 1 16) (int_range 0 8);
+      ]
+  in
   map3
-    (fun name (fabric, memory) (sync, local_cost) ->
-      { S.name; description = "generated"; fabric; memory; sync; local_cost })
+    (fun name (fabric, memory) ((sync, model), local_cost) ->
+      (* relaxed models only pair with uncached memory *)
+      let memory =
+        match (model, memory) with
+        | S.Model_sc, m | _, (S.Uncached _ as m) -> m
+        | _, (S.Ideal | S.Cached _) ->
+          S.Uncached { write_buffer = None; wait_write_ack = false; modules = 1 }
+      in
+      { S.name; description = "generated"; fabric; memory; model; sync; local_cost })
     name (pair fabric memory)
-    (pair sync (int_range 1 3))
+    (pair (pair sync model) (int_range 1 3))
 
 let arbitrary_spec = QCheck.make ~print:(S.to_string ~pretty:true) gen_spec
 
@@ -280,8 +302,29 @@ let test_json_defaults () =
     check_string "description defaults empty" "" s.S.description;
     check "fabric defaults to the standard net" true (s.S.fabric = C.default_net);
     check "memory defaults to cached" true (s.S.memory = S.default_cached);
+    check "model defaults to sc" true (s.S.model = S.Model_sc);
     check "sync defaults to none" true (s.S.sync = S.Sync_none);
     check_int "local_cost defaults to 1" 1 s.S.local_cost
+
+let test_json_model_field () =
+  (* a bare model name takes the default knobs, and a relaxed model
+     flips the memory default from cached to one-module uncached *)
+  (match S.of_string {|{ "name": "x", "model": "tso" }|} with
+  | Error e -> Alcotest.failf "bare model name rejected: %s" e
+  | Ok s ->
+    check "bare tso takes default knobs" true
+      (s.S.model = S.Model_tso { depth = 8; drain_delay = 6 });
+    check "relaxed model defaults memory to uncached" true
+      (match s.S.memory with S.Uncached _ -> true | _ -> false);
+    check "a relaxed machine is not SC" false (S.sequentially_consistent s));
+  match
+    S.of_string
+      {|{ "name": "x", "model": { "kind": "ra", "window": 4, "drain_delay": 2 } }|}
+  with
+  | Error e -> Alcotest.failf "model object rejected: %s" e
+  | Ok s ->
+    check "model object knobs parsed" true
+      (s.S.model = S.Model_ra { window = 4; drain_delay = 2 })
 
 let test_json_rejects_bad_spec () =
   let bad =
@@ -289,6 +332,9 @@ let test_json_rejects_bad_spec () =
       {|{ "name": "x", "sync": "release-consistency" }|};
       {|{ "name": "x", "fabric": { "kind": "token-ring" } }|};
       {|{ "name": "x", "memory": { "kind": "drum" } }|};
+      {|{ "name": "x", "model": "release-consistency" }|};
+      {|{ "name": "x", "model": "tso", "memory": { "kind": "cached" } }|};
+      {|{ "name": "x", "model": "pso", "memory": { "kind": "ideal" } }|};
       {|[1, 2, 3]|};
       {|{ }|};
     ]
@@ -355,7 +401,26 @@ let test_grid_names () =
       let m = S.build s in
       let t = List.find (fun (t : L.t) -> t.L.name = "message-passing") L.all in
       ignore (M.run m ~seed:1 t.L.program))
-    specs
+    specs;
+  (* the model axis: sc keeps the historical name, relaxed points get
+     an @<model> suffix and fall back to uncached memory *)
+  let model_specs =
+    S.grid
+      ~models:[ S.Model_sc; S.Model_tso { depth = 8; drain_delay = 6 } ]
+      base
+  in
+  check_int "2 models" 2 (List.length model_specs);
+  let names = List.map (fun (s : S.t) -> s.S.name) model_specs in
+  check "sc point keeps the historical name" true
+    (List.mem "wo-new/net4j6+reserve-bit" names);
+  check "relaxed point gets the model suffix" true
+    (List.mem "wo-new/net4j6+reserve-bit@tso" names);
+  List.iter
+    (fun (s : S.t) ->
+      let m = S.build s in
+      let t = List.find (fun (t : L.t) -> t.L.name = "figure1") L.all in
+      ignore (M.run m ~seed:1 t.L.program))
+    model_specs
 
 let tests =
   [
@@ -367,6 +432,7 @@ let tests =
     Alcotest.test_case "preset specs round-trip through JSON" `Quick
       test_preset_specs_roundtrip;
     Alcotest.test_case "JSON defaults" `Quick test_json_defaults;
+    Alcotest.test_case "JSON model field" `Quick test_json_model_field;
     Alcotest.test_case "bad JSON specs are rejected" `Quick
       test_json_rejects_bad_spec;
     Alcotest.test_case "JSON-defined machine runs end to end" `Quick
